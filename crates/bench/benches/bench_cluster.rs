@@ -1,0 +1,39 @@
+//! Criterion bench: CLUSTER(τ) decomposition throughput on the three graph
+//! families of Table 2, across granularities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardec_core::{cluster, ClusterParams};
+use pardec_graph::generators;
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    let workloads = [
+        ("mesh-100x100", generators::mesh(100, 100)),
+        ("road-100x100", generators::road_network(100, 100, 0.4, 103)),
+        ("ba-20k", generators::preferential_attachment(20_000, 8, 101)),
+    ];
+    for (name, g) in &workloads {
+        for tau in [4usize, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("tau={tau}")),
+                &tau,
+                |b, &tau| b.iter(|| cluster(g, &ClusterParams::new(tau, 7))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cluster
+}
+criterion_main!(benches);

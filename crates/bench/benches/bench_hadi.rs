@@ -1,0 +1,35 @@
+//! Criterion bench: HADI/ANF sketch propagation (Table 4's slow baseline) —
+//! shared-memory variant, long- vs short-diameter inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pardec_core::{hadi, HadiParams};
+use pardec_graph::generators;
+
+fn bench_hadi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hadi");
+    // Long diameter: many iterations. Short diameter: few.
+    let workloads = [
+        ("mesh-50x50", generators::mesh(50, 50)),
+        ("ba-5k", generators::preferential_attachment(5_000, 6, 101)),
+    ];
+    for (name, g) in &workloads {
+        let mut p = HadiParams::new(11);
+        p.trials = 16;
+        group.bench_function(*name, |b| b.iter(|| hadi(g, &p)));
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hadi
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: the MPX baseline decomposition (Table 2's competitor),
+//! at two granularity regimes (β).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardec_core::mpx;
+use pardec_graph::generators;
+
+fn bench_mpx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpx");
+    let workloads = [
+        ("mesh-100x100", generators::mesh(100, 100)),
+        ("road-100x100", generators::road_network(100, 100, 0.4, 103)),
+        ("ba-20k", generators::preferential_attachment(20_000, 8, 101)),
+    ];
+    for (name, g) in &workloads {
+        for beta in [0.05f64, 0.5] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("beta={beta}")),
+                &beta,
+                |b, &beta| b.iter(|| mpx(g, beta, 7)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mpx
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: the MR emulation itself — Fact 1 primitives (sort,
+//! prefix sum), a generic aggregation round, and a vertex-program BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pardec_mr::algo::mr_bfs;
+use pardec_mr::primitives::{mr_prefix_sum, mr_sort};
+use pardec_mr::{MrConfig, MrEngine};
+use pardec_graph::generators;
+
+fn bench_mr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mr");
+    let items: Vec<u64> = (0..100_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
+    group.bench_function("sort-100k", |b| {
+        b.iter(|| {
+            let mut eng = MrEngine::new(MrConfig::default());
+            mr_sort(&mut eng, items.clone(), 42).unwrap()
+        })
+    });
+    let values: Vec<u64> = (0..100_000u64).map(|i| i % 17).collect();
+    group.bench_function("prefix-sum-100k", |b| {
+        b.iter(|| {
+            let mut eng = MrEngine::new(MrConfig::default());
+            mr_prefix_sum(&mut eng, values.clone()).unwrap()
+        })
+    });
+    let pairs: Vec<(u32, u64)> = (0..100_000u32).map(|i| (i % 1024, i as u64)).collect();
+    group.bench_function("aggregate-round-100k", |b| {
+        b.iter(|| {
+            let mut eng = MrEngine::new(MrConfig::default());
+            eng.round(pairs.clone(), |&k, vs: Vec<u64>| {
+                vec![(k, vs.into_iter().sum::<u64>())]
+            })
+            .unwrap()
+        })
+    });
+    let g = generators::mesh(60, 60);
+    group.bench_function("vertex-bfs-mesh-60x60", |b| b.iter(|| mr_bfs(&g, 0)));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mr
+}
+criterion_main!(benches);

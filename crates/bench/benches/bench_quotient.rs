@@ -1,0 +1,39 @@
+//! Criterion bench: quotient-graph machinery of §4 — unweighted and
+//! weighted construction plus the weighted quotient APSP diameter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pardec_core::{cluster, ClusterParams};
+use pardec_graph::generators;
+use pardec_graph::quotient::{quotient, weighted_quotient};
+
+fn bench_quotient(c: &mut Criterion) {
+    let g = generators::mesh(150, 150);
+    let r = cluster(&g, &ClusterParams::new(8, 7));
+    let cl = r.clustering;
+    let k = cl.num_clusters();
+
+    let mut group = c.benchmark_group("quotient");
+    group.bench_function("unweighted", |b| {
+        b.iter(|| quotient(&g, &cl.assignment, k))
+    });
+    group.bench_function("weighted", |b| {
+        b.iter(|| weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k))
+    });
+    let wq = weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k);
+    group.bench_function("weighted-apsp-diameter", |b| b.iter(|| wq.apsp_diameter()));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_quotient
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Ablation (extra)** — Lemma 1 radius shape: on the mesh (doubling
+//! dimension b = 2), `R_ALG ≈ O((Δ/√τ)·log n)`; quadrupling τ should
+//! roughly halve the radius. Also sweeps the algorithm's constants
+//! (`batch_factor`, `stop_factor`) to show the pseudocode's 4/8 are not
+//! load-bearing for quality, only for the high-probability guarantees.
+
+use pardec_bench::{report::Table, scale_from_args, workloads};
+use pardec_core::analysis::radius_tau_sweep;
+use pardec_core::{cluster, ClusterParams};
+
+fn main() {
+    let scale = scale_from_args();
+    let mesh = workloads::datasets(scale).pop().expect("mesh is last");
+    let g = mesh.graph;
+    let delta = workloads::exact_diameter(&g) as f64;
+    println!(
+        "Ablation: radius vs tau on {} (n = {}, Δ = {delta})\n",
+        mesh.name,
+        g.num_nodes()
+    );
+
+    let taus = [1usize, 4, 16, 64, 256];
+    let mut t = Table::new(["tau", "clusters", "R_ALG", "R·√tau/Δ", "growth steps"]);
+    for p in radius_tau_sweep(&g, &taus, 3) {
+        let normalized = p.max_radius as f64 * (p.tau as f64).sqrt() / delta;
+        t.row([
+            p.tau.to_string(),
+            p.clusters.to_string(),
+            p.max_radius.to_string(),
+            format!("{normalized:.3}"),
+            p.growth_steps.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nLemma 1 shape: the R·√tau/Δ column should stay within a small constant band.");
+
+    println!("\nConstant ablation (tau = 16):");
+    let mut t2 = Table::new(["batch_factor", "stop_factor", "clusters", "R_ALG"]);
+    for (bf, sf) in [(1.0, 8.0), (4.0, 8.0), (16.0, 8.0), (4.0, 2.0), (4.0, 32.0)] {
+        let mut params = ClusterParams::new(16, 5);
+        params.batch_factor = bf;
+        params.stop_factor = sf;
+        let r = cluster(&g, &params);
+        t2.row([
+            format!("{bf}"),
+            format!("{sf}"),
+            r.clustering.num_clusters().to_string(),
+            r.clustering.max_radius().to_string(),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,47 @@
+//! **Figure 1** — running time of CLUSTER vs BFS on social graphs with a
+//! chain of `c·Δ` extra nodes appended (`c ∈ {0, 1, 2, 4, 6, 8, 10}`).
+//!
+//! The chain inflates the diameter by `c·Δ` without altering the base
+//! structure: BFS's time grows linearly in `c` (its rounds are Θ(Δ)), while
+//! CLUSTER's stays flat. Emits one series row per (dataset, c); pipe to a
+//! plotting tool or read the trend directly.
+
+use pardec_bench::{report::{secs, Table}, scale_from_args, timed, workloads};
+use pardec_core::mr_impl::{mr_bfs, mr_cluster};
+use pardec_core::ClusterParams;
+use pardec_graph::generators::append_chain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 1: time vs appended chain length (scale {scale:?})\n");
+    let mut t = Table::new([
+        "dataset", "c", "extra nodes", "CLUSTER s", "BFS s", "C rounds", "B rounds",
+    ]);
+    for d in workloads::social_datasets(scale) {
+        let base = &d.graph;
+        let n = base.num_nodes();
+        let delta = workloads::exact_diameter(base) as usize;
+        let tau = workloads::tau_for_target(n, (n / 100).max(120));
+        let attach = StdRng::seed_from_u64(5).gen_range(0..n) as u32;
+        for c in [0usize, 1, 2, 4, 6, 8, 10] {
+            let g = append_chain(base, attach, c * delta);
+            let (cl, cluster_time) = timed(|| mr_cluster(&g, &ClusterParams::new(tau, 11)));
+            let src = StdRng::seed_from_u64(11).gen_range(0..n) as u32;
+            let (bf, bfs_time) = timed(|| mr_bfs(&g, src));
+            t.row([
+                d.name.to_string(),
+                c.to_string(),
+                (c * delta).to_string(),
+                secs(cluster_time),
+                secs(bfs_time),
+                cl.supersteps.to_string(),
+                bf.supersteps.to_string(),
+            ]);
+            eprintln!("[figure1] {} c={c} done", d.name);
+        }
+    }
+    t.print();
+    println!("\npaper shape: BFS time grows linearly with c; CLUSTER time is essentially flat.");
+}

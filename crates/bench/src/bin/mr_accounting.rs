@@ -1,0 +1,48 @@
+//! **MR accounting (extra)** — the §5 ledger: rounds, aggregate and peak
+//! communication, and the local-memory (`M_L`) demand of CLUSTER, BFS, and
+//! HADI on the MR(M_G, M_L) emulation. This is the architecture-independent
+//! evidence behind Table 4's timings.
+
+use pardec_bench::{report::Table, scale_from_args, workloads};
+use pardec_core::hadi::mr_hadi;
+use pardec_core::mr_impl::{mr_bfs, mr_cluster};
+use pardec_core::{ClusterParams, HadiParams};
+use pardec_mr::MrStats;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("MR accounting: rounds / volume / M_L demand (scale {scale:?})\n");
+    let mut t = Table::new([
+        "dataset", "algo", "rounds", "total pairs", "peak round pairs", "peak M_L",
+    ]);
+    let fmt = |name: &str, algo: &str, rounds: usize, stats: &MrStats, t: &mut Table| {
+        t.row([
+            name.to_string(),
+            algo.to_string(),
+            rounds.to_string(),
+            stats.total_pairs().to_string(),
+            stats.max_round_pairs().to_string(),
+            stats.max_local_memory().to_string(),
+        ]);
+    };
+    for d in workloads::datasets(scale) {
+        let g = &d.graph;
+        let n = g.num_nodes();
+        let tau = workloads::tau_for_target(n, (n / 100).max(120));
+
+        let r = mr_cluster(g, &ClusterParams::new(tau, 11));
+        fmt(d.name, "CLUSTER", r.supersteps, &r.stats, &mut t);
+
+        let b = mr_bfs(g, 0);
+        fmt(d.name, "BFS", b.supersteps, &b.stats, &mut t);
+
+        let mut p = HadiParams::new(11);
+        p.trials = if matches!(scale, workloads::Scale::Ci) { 32 } else { 4 };
+        let (h, stats) = mr_hadi(g, &p);
+        fmt(d.name, "HADI", h.iterations, &stats, &mut t);
+        eprintln!("[mr_accounting] {} done", d.name);
+    }
+    t.print();
+    println!("\n§5 shape: CLUSTER rounds ≪ BFS ≈ HADI rounds ≈ Δ; CLUSTER and BFS move");
+    println!("O(m) pairs in aggregate, HADI moves Θ(m) pairs per round.");
+}

@@ -1,0 +1,47 @@
+//! **Table 3** — diameter approximation quality at two clustering
+//! granularities (coarser / finer).
+//!
+//! Columns per granularity: quotient size `n_C`, `m_C`, the algorithm's
+//! estimate `Δ′` (the weighted-quotient upper bound, as in the paper's
+//! experiments), and the true diameter `Δ`.
+
+use pardec_bench::{report::Table, scale_from_args, workloads};
+use pardec_core::{approximate_diameter, DiameterParams};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 3: diameter approximation (scale {scale:?})\n");
+    let mut t = Table::new([
+        "dataset", "co:nC", "co:mC", "co:D'", "fi:nC", "fi:mC", "fi:D'", "D", "D'/D",
+    ]);
+    for d in workloads::datasets(scale) {
+        let n = d.graph.num_nodes();
+        let delta = workloads::exact_diameter(&d.graph);
+        let coarser = workloads::tau_for_target(n, (n / 500).max(30));
+        // Ensure the finer granularity is a genuinely different setting even
+        // at CI scale, where both targets can map to τ = 1.
+        let finer = workloads::tau_for_target(n, (n / 50).max(160)).max(coarser * 8);
+        let run = |tau: usize| approximate_diameter(&d.graph, &DiameterParams::new(tau, 11));
+        let co = run(coarser);
+        let fi = run(finer);
+        eprintln!(
+            "[table3] {}: coarser tau {coarser} -> {} clusters; finer tau {finer} -> {}",
+            d.name, co.quotient_nodes, fi.quotient_nodes
+        );
+        let ratio = fi.estimate() as f64 / delta.max(1) as f64;
+        t.row([
+            d.name.to_string(),
+            co.quotient_nodes.to_string(),
+            co.quotient_edges.to_string(),
+            co.estimate().to_string(),
+            fi.quotient_nodes.to_string(),
+            fi.quotient_edges.to_string(),
+            fi.estimate().to_string(),
+            delta.to_string(),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    t.print();
+    println!("\npaper shape: Δ′/Δ < 2 on every graph and both granularities; the");
+    println!("approximation quality is insensitive to the clustering granularity.");
+}

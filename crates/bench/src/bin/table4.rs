@@ -1,0 +1,92 @@
+//! **Table 4** — wall time and diameter estimate of our CLUSTER-based
+//! algorithm vs the BFS and HADI baselines, all three on the MR(M_G, M_L)
+//! emulation so the comparison charges the same per-round costs the paper's
+//! Spark cluster does.
+//!
+//! Extra columns beyond the paper: superstep (round) counts and total
+//! shuffled pairs — the architecture-independent explanation of the timings.
+
+use pardec_bench::{report::{secs, Table}, scale_from_args, timed, workloads};
+use pardec_core::hadi::mr_hadi;
+use pardec_core::mr_impl::{mr_bfs, mr_cluster};
+use pardec_core::{ClusterParams, HadiParams};
+use pardec_graph::diameter::apsp_diameter;
+use pardec_graph::traversal::bfs_parallel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 4: time (s) and estimate vs BFS and HADI, MR emulation (scale {scale:?})\n");
+    let mut t = Table::new([
+        "dataset", "CLUSTER t(D')", "BFS t(D')", "HADI t(D')", "D", "rounds C/B/H", "Mpairs C/B/H",
+    ]);
+    for d in workloads::datasets(scale) {
+        let g = &d.graph;
+        let n = g.num_nodes();
+        let delta = workloads::exact_diameter(g);
+        let tau = workloads::tau_for_target(n, (n / 100).max(120));
+
+        // Ours: MR CLUSTER + quotient diameter on the driver (one reducer in
+        // the paper; the quotient always fits locally here).
+        let ((cluster_est, cluster_rounds, cluster_pairs), cluster_time) = timed(|| {
+            let r = mr_cluster(g, &ClusterParams::new(tau, 11));
+            let c = &r.clustering;
+            let wq = c.weighted_quotient(g);
+            let est = 2 * c.max_radius() as u64 + wq.apsp_diameter();
+            (est, r.supersteps, r.stats.total_pairs())
+        });
+
+        // BFS baseline: one parallel BFS from a random source, Δ ≈ 2·ecc.
+        let ((bfs_est, bfs_rounds, bfs_pairs), bfs_time) = timed(|| {
+            let src = StdRng::seed_from_u64(11).gen_range(0..n) as u32;
+            let r = mr_bfs(g, src);
+            let ecc = r
+                .values
+                .iter()
+                .filter(|&&d| d != u32::MAX)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            (2 * ecc as u64, r.supersteps, r.stats.total_pairs())
+        });
+
+        // HADI: sketch propagation, Θ(Δ) rounds × Θ(m) pairs per round. At
+        // larger scales fewer trials keep the run affordable without
+        // changing the cost profile.
+        let trials = match scale {
+            workloads::Scale::Ci => 32,
+            workloads::Scale::Default => 8,
+            workloads::Scale::Full => 4,
+        };
+        let ((hadi_est, hadi_rounds, hadi_pairs), hadi_time) = timed(|| {
+            let mut p = HadiParams::new(11);
+            p.trials = trials;
+            let (r, stats) = mr_hadi(g, &p);
+            (r.diameter_estimate as u64, r.iterations, stats.total_pairs())
+        });
+
+        eprintln!("[table4] {} done (Δ = {delta})", d.name);
+        t.row([
+            d.name.to_string(),
+            format!("{} ({cluster_est})", secs(cluster_time)),
+            format!("{} ({bfs_est})", secs(bfs_time)),
+            format!("{} ({hadi_est})", secs(hadi_time)),
+            delta.to_string(),
+            format!("{cluster_rounds}/{bfs_rounds}/{hadi_rounds}"),
+            format!(
+                "{:.1}/{:.1}/{:.1}",
+                cluster_pairs as f64 / 1e6,
+                bfs_pairs as f64 / 1e6,
+                hadi_pairs as f64 / 1e6
+            ),
+        ]);
+        // Cross-check against the exact diameter on small quotients only.
+        let _ = apsp_diameter; // (used by table3 path; kept for parity)
+        let _ = bfs_parallel;
+    }
+    t.print();
+    println!("\npaper shape: on long-diameter graphs CLUSTER beats BFS by ~8-20x and HADI by");
+    println!("orders of magnitude (rounds ≪ Δ with aggregate-linear communication); on");
+    println!("small-diameter social graphs BFS is comparable or slightly faster.");
+}

@@ -1,0 +1,190 @@
+//! Tiny dependency-free argument parser: one positional command followed by
+//! `--key value` / `--flag` pairs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The positional subcommand (first non-flag token).
+    pub command: String,
+    /// `--key value` options, in declaration order-independent form.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag` switches.
+    flags: Vec<String>,
+}
+
+/// Argument parsing / validation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    MissingCommand,
+    MissingValue(String),
+    MissingOption(String),
+    BadValue { key: String, value: String, expected: &'static str },
+    UnknownOptions(Vec<String>),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `pardec help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} expects a value"),
+            ArgError::MissingOption(k) => write!(f, "required option --{k} missing"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "--{key} {value:?}: expected {expected}")
+            }
+            ArgError::UnknownOptions(ks) => {
+                write!(f, "unknown options: {}", ks.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Keys that take a value (everything else given as `--x` is a bare flag).
+const VALUED_KEYS: &[&str] = &[
+    "family", "rows", "cols", "nodes", "attach", "window", "extra-prob", "degree",
+    "seed", "out", "graph", "tau", "algorithm", "beta", "k", "labels", "scale",
+    "queries", "trials", "edges",
+];
+
+impl Args {
+    /// Parses raw tokens (without the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if VALUED_KEYS.contains(&key) {
+                    match it.next() {
+                        Some(v) => {
+                            out.options.insert(key.to_string(), v);
+                        }
+                        None => return Err(ArgError::MissingValue(key.to_string())),
+                    }
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else if out.command.is_empty() {
+                out.command = tok;
+            } else {
+                return Err(ArgError::UnknownOptions(vec![tok]));
+            }
+        }
+        if out.command.is_empty() {
+            return Err(ArgError::MissingCommand);
+        }
+        Ok(out)
+    }
+
+    /// String option (required).
+    pub fn req(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::MissingOption(key.to_string()))
+    }
+
+    /// String option with default.
+    pub fn opt<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parsed numeric option (required).
+    pub fn req_parse<T: std::str::FromStr>(&self, key: &str, expected: &'static str) -> Result<T, ArgError> {
+        let raw = self.req(key)?;
+        raw.parse().map_err(|_| ArgError::BadValue {
+            key: key.to_string(),
+            value: raw.to_string(),
+            expected,
+        })
+    }
+
+    /// Parsed numeric option with default.
+    pub fn opt_parse<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn basic_command() {
+        let a = parse("stats --graph g.txt").unwrap();
+        assert_eq!(a.command, "stats");
+        assert_eq!(a.req("graph").unwrap(), "g.txt");
+    }
+
+    #[test]
+    fn options_and_flags() {
+        let a = parse("diameter --graph g --tau 8 --exact").unwrap();
+        assert_eq!(a.req_parse::<usize>("tau", "int").unwrap(), 8);
+        assert!(a.has_flag("exact"));
+        assert!(!a.has_flag("weighted-off"));
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("cluster --graph g").unwrap();
+        assert_eq!(a.opt("algorithm", "cluster"), "cluster");
+        assert_eq!(a.opt_parse::<u64>("seed", 42, "int").unwrap(), 42);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse("generate --family").unwrap_err(),
+            ArgError::MissingValue("family".into())
+        );
+        let a = parse("cluster --tau x").unwrap();
+        assert!(matches!(
+            a.req_parse::<usize>("tau", "a positive integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(a.req("graph"), Err(ArgError::MissingOption(_))));
+        assert!(matches!(
+            parse("stats extra-positional"),
+            Err(ArgError::UnknownOptions(_))
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(ArgError::MissingOption("graph".into())
+            .to_string()
+            .contains("--graph"));
+        assert!(ArgError::BadValue {
+            key: "k".into(),
+            value: "zz".into(),
+            expected: "int"
+        }
+        .to_string()
+        .contains("expected int"));
+    }
+}

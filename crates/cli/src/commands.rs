@@ -1,0 +1,355 @@
+//! Subcommand implementations for the `pardec` binary.
+
+use crate::args::Args;
+use pardec_core::diameter::Decomposition;
+use pardec_core::{
+    approximate_diameter, cluster, cluster2, gonzalez, kcenter, mpx, ClusterParams,
+    Clustering, DiameterParams, DistanceOracle,
+};
+use pardec_graph::{diameter, generators, io, stats, CsrGraph, NodeId};
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+/// Usage banner shared by `help` and error paths.
+pub const USAGE: &str = "\
+usage: pardec <command> [options]
+
+commands:
+  generate  --family mesh|torus|road|social|ba|gnm|lollipop [--rows R --cols C]
+            [--nodes N --attach M --window F --extra-prob P --degree D --edges M]
+            [--seed S] --out FILE
+  stats     --graph FILE
+  cluster   --graph FILE [--tau T] [--algorithm cluster|cluster2|mpx]
+            [--beta B] [--seed S] [--labels FILE]
+  diameter  --graph FILE [--tau T] [--seed S] [--exact] [--cluster2]
+  kcenter   --graph FILE --k K [--seed S] [--gonzalez]
+  oracle    --graph FILE [--tau T] [--seed S] --queries u:v[,u:v...]
+  help";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Routes a parsed command line to its implementation.
+pub fn dispatch(args: &Args) -> CmdResult {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "stats" => cmd_stats(args),
+        "cluster" => cmd_cluster(args),
+        "diameter" => cmd_diameter(args),
+        "kcenter" => cmd_kcenter(args),
+        "oracle" => cmd_oracle(args),
+        "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    }
+}
+
+fn load_graph(args: &Args) -> Result<CsrGraph, Box<dyn Error>> {
+    let path = args.req("graph")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(io::read_edge_list(&mut BufReader::new(file))?)
+}
+
+fn seed(args: &Args) -> Result<u64, crate::args::ArgError> {
+    args.opt_parse("seed", 42u64, "an unsigned integer")
+}
+
+fn cmd_generate(args: &Args) -> CmdResult {
+    let family = args.req("family")?;
+    let s = seed(args)?;
+    let g = match family {
+        "mesh" | "torus" => {
+            let rows: usize = args.req_parse("rows", "a positive integer")?;
+            let cols: usize = args.req_parse("cols", "a positive integer")?;
+            if family == "mesh" {
+                generators::mesh(rows, cols)
+            } else {
+                generators::torus(rows, cols)
+            }
+        }
+        "road" => {
+            let rows: usize = args.req_parse("rows", "a positive integer")?;
+            let cols: usize = args.opt_parse("cols", rows, "a positive integer")?;
+            let p: f64 = args.opt_parse("extra-prob", 0.4, "a probability")?;
+            generators::road_network(rows, cols, p, s)
+        }
+        "social" => {
+            let n: usize = args.req_parse("nodes", "a positive integer")?;
+            let m: usize = args.opt_parse("attach", 8, "a positive integer")?;
+            let w: f64 = args.opt_parse("window", 0.025, "a fraction in (0, 1]")?;
+            generators::windowed_preferential_attachment(n, m, w, s)
+        }
+        "ba" => {
+            let n: usize = args.req_parse("nodes", "a positive integer")?;
+            let m: usize = args.opt_parse("attach", 4, "a positive integer")?;
+            generators::preferential_attachment(n, m, s)
+        }
+        "gnm" => {
+            let n: usize = args.req_parse("nodes", "a positive integer")?;
+            let m: usize = args.req_parse("edges", "a positive integer")?;
+            generators::gnm(n, m, s)
+        }
+        "lollipop" => {
+            let n: usize = args.req_parse("nodes", "a positive integer")?;
+            let d: usize = args.opt_parse("degree", 4, "a positive integer")?;
+            let tail: usize = args.opt_parse("rows", n / 4, "a positive integer")?;
+            generators::lollipop(n, d, tail, s)
+        }
+        other => return Err(format!("unknown family {other:?}").into()),
+    };
+    let out = args.req("out")?;
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    io::write_edge_list(&g, &mut w)?;
+    w.flush()?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.num_nodes(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let summary = stats::summarize(&g);
+    let deg = stats::degree_stats(&g);
+    let (components, _) = pardec_graph::components::connected_components(&g);
+    println!("nodes       {}", summary.nodes);
+    println!("edges       {}", summary.edges);
+    println!("avg degree  {:.2}", summary.avg_degree);
+    println!("max degree  {}", summary.max_degree);
+    println!("p99 degree  {}", deg.p99);
+    println!("components  {components}");
+    Ok(())
+}
+
+fn write_labels(path: &str, clustering: &Clustering) -> CmdResult {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# node\tcluster\tdist_to_center")?;
+    for (v, &c) in clustering.assignment.iter().enumerate() {
+        writeln!(w, "{v}\t{c}\t{}", clustering.dist_to_center[v])?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn cmd_cluster(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let s = seed(args)?;
+    let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
+    let algorithm = args.opt("algorithm", "cluster");
+    let clustering = match algorithm {
+        "cluster" => cluster(&g, &ClusterParams::new(tau, s)).clustering,
+        "cluster2" => cluster2(&g, &ClusterParams::new(tau, s)).clustering,
+        "mpx" => {
+            let beta: f64 = args.opt_parse("beta", 0.2, "a positive rate")?;
+            mpx(&g, beta, s).clustering
+        }
+        other => return Err(format!("unknown algorithm {other:?}").into()),
+    };
+    let sizes = clustering.cluster_sizes();
+    println!("algorithm     {algorithm}");
+    println!("clusters      {}", clustering.num_clusters());
+    println!("max radius    {}", clustering.max_radius());
+    println!(
+        "cluster size  min {} / max {}",
+        sizes.iter().min().unwrap_or(&0),
+        sizes.iter().max().unwrap_or(&0)
+    );
+    let q = clustering.quotient(&g);
+    println!("quotient      {} nodes / {} edges", q.num_nodes(), q.num_edges());
+    if let Ok(path) = args.req("labels") {
+        write_labels(path, &clustering)?;
+        println!("labels        written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_diameter(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let s = seed(args)?;
+    let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
+    let mut params = DiameterParams::new(tau, s);
+    if args.has_flag("cluster2") {
+        params.decomposition = Decomposition::Cluster2;
+    }
+    let a = approximate_diameter(&g, &params);
+    println!("lower bound (Δ_C)    {}", a.lower_bound);
+    println!("upper bound (Δ″)     {}", a.estimate());
+    println!("cluster radius       {}", a.radius);
+    println!(
+        "quotient             {} nodes / {} edges",
+        a.quotient_nodes, a.quotient_edges
+    );
+    println!("growth steps         {}", a.growth_steps);
+    if args.has_flag("exact") {
+        let exact = diameter::exact_diameter(&g);
+        println!("exact diameter       {exact}");
+        println!(
+            "approximation ratio  {:.3}",
+            a.estimate() as f64 / exact.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_kcenter(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let s = seed(args)?;
+    let k: usize = args.req_parse("k", "a positive integer")?;
+    let result = if args.has_flag("gonzalez") {
+        gonzalez(&g, k, s)?
+    } else {
+        kcenter(&g, k, s)?
+    };
+    println!("centers  {}", result.centers.len());
+    println!("radius   {}", result.radius);
+    let preview: Vec<String> = result.centers.iter().take(16).map(|c| c.to_string()).collect();
+    println!("ids      {}{}", preview.join(","), if result.centers.len() > 16 { ",…" } else { "" });
+    Ok(())
+}
+
+fn cmd_oracle(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let s = seed(args)?;
+    let tau: usize = args.opt_parse("tau", 2, "a positive integer")?;
+    let oracle = DistanceOracle::build(&g, tau, s, Decomposition::Cluster);
+    println!(
+        "oracle: {} clusters, radius {}, {} words",
+        oracle.num_clusters(),
+        oracle.radius(),
+        oracle.memory_words()
+    );
+    let queries = args.req("queries")?;
+    for pair in queries.split(',') {
+        let Some((u, v)) = pair.split_once(':') else {
+            return Err(format!("bad query {pair:?} (expected u:v)").into());
+        };
+        let u: NodeId = u.trim().parse().map_err(|_| format!("bad node id {u:?}"))?;
+        let v: NodeId = v.trim().parse().map_err(|_| format!("bad node id {v:?}"))?;
+        let n = g.num_nodes() as NodeId;
+        if u >= n || v >= n {
+            return Err(format!("query {u}:{v} out of range (n = {n})").into());
+        }
+        let d = oracle.query(u, v);
+        if d == u64::MAX {
+            println!("dist({u}, {v}) = unreachable");
+        } else {
+            println!("dist({u}, {v}) ≤ {d}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pardec-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_stats_cluster_diameter_round_trip() {
+        let graph_path = tmp("mesh.txt");
+        dispatch(&args(&format!(
+            "generate --family mesh --rows 20 --cols 20 --out {graph_path}"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("stats --graph {graph_path}"))).unwrap();
+        let labels_path = tmp("labels.tsv");
+        dispatch(&args(&format!(
+            "cluster --graph {graph_path} --tau 2 --labels {labels_path}"
+        )))
+        .unwrap();
+        let labels = std::fs::read_to_string(&labels_path).unwrap();
+        assert_eq!(labels.lines().count(), 400 + 1); // header + one per node
+        dispatch(&args(&format!("diameter --graph {graph_path} --exact"))).unwrap();
+        dispatch(&args(&format!("kcenter --graph {graph_path} --k 5"))).unwrap();
+        dispatch(&args(&format!(
+            "oracle --graph {graph_path} --queries 0:399,0:0"
+        )))
+        .unwrap();
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(labels_path);
+    }
+
+    #[test]
+    fn generate_all_families() {
+        for (family, extra) in [
+            ("mesh", "--rows 5 --cols 6"),
+            ("torus", "--rows 5 --cols 5"),
+            ("road", "--rows 8"),
+            ("social", "--nodes 200 --attach 3"),
+            ("ba", "--nodes 100"),
+            ("gnm", "--nodes 50 --edges 100"),
+            ("lollipop", "--nodes 100 --rows 20"),
+        ] {
+            let path = tmp(&format!("{family}.txt"));
+            dispatch(&args(&format!(
+                "generate --family {family} {extra} --out {path}"
+            )))
+            .unwrap_or_else(|e| panic!("{family}: {e}"));
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn cluster_algorithms() {
+        let path = tmp("algos.txt");
+        dispatch(&args(&format!(
+            "generate --family road --rows 12 --out {path}"
+        )))
+        .unwrap();
+        for algo in ["cluster", "cluster2", "mpx"] {
+            dispatch(&args(&format!(
+                "cluster --graph {path} --algorithm {algo} --tau 1"
+            )))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(dispatch(&args("frobnicate")).is_err());
+        assert!(dispatch(&args("stats --graph /nonexistent/file")).is_err());
+        assert!(dispatch(&args("generate --family nosuch --out /tmp/x")).is_err());
+        let path = tmp("err.txt");
+        dispatch(&args(&format!(
+            "generate --family mesh --rows 3 --cols 3 --out {path}"
+        )))
+        .unwrap();
+        assert!(dispatch(&args(&format!(
+            "cluster --graph {path} --algorithm nosuch"
+        )))
+        .is_err());
+        assert!(dispatch(&args(&format!(
+            "oracle --graph {path} --queries 0-1"
+        )))
+        .is_err());
+        assert!(dispatch(&args(&format!(
+            "oracle --graph {path} --queries 0:999"
+        )))
+        .is_err());
+        // Disconnected k-center infeasibility surfaces as an error.
+        assert!(dispatch(&args(&format!("kcenter --graph {path} --k 0"))).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn help_prints() {
+        dispatch(&args("help")).unwrap();
+    }
+}

@@ -1,0 +1,40 @@
+//! `pardec` — command-line front end to the decomposition / clustering /
+//! diameter toolkit.
+//!
+//! ```text
+//! pardec generate --family mesh --rows 100 --cols 100 --out mesh.txt
+//! pardec stats    --graph mesh.txt
+//! pardec cluster  --graph mesh.txt --tau 8 --algorithm cluster --labels out.tsv
+//! pardec diameter --graph mesh.txt --tau 8 [--exact]
+//! pardec kcenter  --graph mesh.txt --k 20 [--gonzalez]
+//! pardec oracle   --graph mesh.txt --tau 2 --queries 0:57,3:99
+//! pardec help
+//! ```
+//!
+//! Graphs are SNAP-style text edge lists (`pardec_graph::io`). All commands
+//! are seeded (`--seed`, default 42) and reproducible.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = Args::parse(std::env::args().skip(1));
+    let args = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

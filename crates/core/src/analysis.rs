@@ -1,0 +1,131 @@
+//! Diagnostics backing the paper's analysis sections: a ball-growth proxy
+//! for the doubling dimension (Definition 2) and radius-vs-τ sweeps
+//! (Lemma 1's `R_ALG = O(⌈Δ/τ^{1/b}⌉ log n)` shape).
+
+use crate::cluster::{cluster, ClusterParams};
+use pardec_graph::traversal::bfs;
+use pardec_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// One point of a [`radius_tau_sweep`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    pub tau: usize,
+    pub clusters: usize,
+    pub max_radius: u32,
+    pub growth_steps: usize,
+}
+
+/// Runs CLUSTER over a τ grid, reporting cluster counts and radii — the
+/// ablation behind Lemma 1: on a graph of doubling dimension `b`, doubling τ
+/// should shrink the radius by roughly `2^{1/b}`.
+pub fn radius_tau_sweep(g: &CsrGraph, taus: &[usize], seed: u64) -> Vec<SweepPoint> {
+    taus.iter()
+        .map(|&tau| {
+            let r = cluster(g, &ClusterParams::new(tau.max(1), seed));
+            SweepPoint {
+                tau,
+                clusters: r.clustering.num_clusters(),
+                max_radius: r.clustering.max_radius(),
+                growth_steps: r.trace.total_growth_steps(),
+            }
+        })
+        .collect()
+}
+
+/// Ball-growth estimate of the doubling dimension (Definition 2).
+///
+/// For `samples` random nodes `v` and every radius `r` with `|B(v, 2r)|`
+/// still growing, measures `log₂(|B(v, 2r)| / |B(v, r)|)` and returns the
+/// median of the per-node maxima. This *growth dimension* lower-bounds the
+/// true (covering-based) doubling dimension and matches it on homogeneous
+/// graphs — meshes report ≈ 2, expanders report large values. It is a
+/// diagnostic, not a certified bound.
+pub fn ball_growth_dimension(g: &CsrGraph, samples: usize, seed: u64) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 || samples == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sources: Vec<NodeId> = (0..samples.min(n))
+        .map(|_| rng.gen_range(0..n) as NodeId)
+        .collect();
+    let mut maxima: Vec<f64> = sources
+        .par_iter()
+        .map(|&v| {
+            let res = bfs(g, v);
+            let ecc = res.levels as usize;
+            if ecc == 0 {
+                return 0.0;
+            }
+            // Cumulative ball sizes by radius.
+            let mut ball = vec![0usize; ecc + 1];
+            for &d in &res.dist {
+                if d != pardec_graph::INFINITE_DIST {
+                    ball[d as usize] += 1;
+                }
+            }
+            for r in 1..=ecc {
+                ball[r] += ball[r - 1];
+            }
+            let mut best: f64 = 0.0;
+            let mut r = 1usize;
+            while 2 * r <= ecc {
+                let ratio = ball[2 * r] as f64 / ball[r] as f64;
+                best = best.max(ratio.log2());
+                r += 1;
+            }
+            best
+        })
+        .collect();
+    maxima.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    maxima[maxima.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardec_graph::generators;
+
+    #[test]
+    fn sweep_shrinks_radius() {
+        let g = generators::mesh(35, 35);
+        let pts = radius_tau_sweep(&g, &[1, 8, 64], 3);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].max_radius >= pts[2].max_radius);
+        assert!(pts[0].clusters <= pts[2].clusters);
+    }
+
+    #[test]
+    fn mesh_growth_dimension_near_two() {
+        let g = generators::mesh(40, 40);
+        let b = ball_growth_dimension(&g, 9, 1);
+        assert!(
+            (1.2..=2.6).contains(&b),
+            "mesh growth dimension {b} not ≈ 2"
+        );
+    }
+
+    #[test]
+    fn expander_growth_dimension_large() {
+        let g = generators::random_regular(2000, 6, 5);
+        let b = ball_growth_dimension(&g, 9, 2);
+        assert!(b > 2.0, "expander growth dimension {b} unexpectedly small");
+    }
+
+    #[test]
+    fn path_growth_dimension_about_one() {
+        let g = generators::path(400);
+        let b = ball_growth_dimension(&g, 9, 3);
+        assert!(b <= 1.5, "path growth dimension {b}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(ball_growth_dimension(&CsrGraph::empty(0), 4, 0), 0.0);
+        assert_eq!(ball_growth_dimension(&generators::path(1), 4, 0), 0.0);
+        assert!(radius_tau_sweep(&CsrGraph::empty(0), &[1], 0)[0].clusters == 0);
+    }
+}

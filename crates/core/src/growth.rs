@@ -1,0 +1,304 @@
+//! The parallel disjoint cluster-growing engine shared by CLUSTER, CLUSTER2,
+//! and the MPX baseline.
+//!
+//! Each *growth step* expands every active cluster's frontier by one hop.
+//! Contention for an uncovered node is resolved **deterministically** in two
+//! parallel phases:
+//!
+//! 1. *propose* — every frontier node publishes `(owner, dist + 1)` packed
+//!    into a single `u64` to each uncovered neighbour's proposal slot via
+//!    `fetch_min` (so the smallest owner id, then smallest distance, wins
+//!    regardless of thread interleaving — the paper allows arbitrary
+//!    tie-breaking, we pick a reproducible one);
+//! 2. *claim* — each proposed node is atomically drained (`swap`) exactly
+//!    once, its assignment and distance are stored, and it joins the next
+//!    frontier.
+//!
+//! The result is bit-identical across runs and thread counts.
+
+use pardec_graph::{CsrGraph, NodeId, INVALID_NODE};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::clustering::Clustering;
+
+const NO_PROPOSAL: u64 = u64::MAX;
+
+#[inline]
+fn pack(owner: NodeId, dist: u32) -> u64 {
+    ((owner as u64) << 32) | dist as u64
+}
+
+#[inline]
+fn unpack(p: u64) -> (NodeId, u32) {
+    ((p >> 32) as NodeId, (p & 0xFFFF_FFFF) as u32)
+}
+
+/// Incremental multi-source disjoint BFS with dynamically added centers.
+pub struct GrowthEngine<'g> {
+    g: &'g CsrGraph,
+    assignment: Vec<AtomicU32>,
+    dist: Vec<AtomicU32>,
+    proposals: Vec<AtomicU64>,
+    frontier: Vec<NodeId>,
+    centers: Vec<NodeId>,
+    covered: usize,
+    steps: usize,
+}
+
+impl<'g> GrowthEngine<'g> {
+    /// A fresh engine over `g` with no clusters.
+    pub fn new(g: &'g CsrGraph) -> Self {
+        let n = g.num_nodes();
+        GrowthEngine {
+            g,
+            assignment: (0..n).map(|_| AtomicU32::new(INVALID_NODE)).collect(),
+            dist: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            proposals: (0..n).map(|_| AtomicU64::new(NO_PROPOSAL)).collect(),
+            frontier: Vec::new(),
+            centers: Vec::new(),
+            covered: 0,
+            steps: 0,
+        }
+    }
+
+    /// Nodes covered so far.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Nodes not yet claimed by any cluster.
+    pub fn uncovered(&self) -> usize {
+        self.g.num_nodes() - self.covered
+    }
+
+    /// Growth steps executed so far (the parallel-depth ledger of Lemma 3).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Clusters created so far.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Current frontier size (active boundary nodes).
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Whether `v` is already covered.
+    pub fn is_covered(&self, v: NodeId) -> bool {
+        self.assignment[v as usize].load(Ordering::Relaxed) != INVALID_NODE
+    }
+
+    /// Activates `v` as a new singleton cluster. Returns `false` (and does
+    /// nothing) if `v` is already covered.
+    pub fn add_center(&mut self, v: NodeId) -> bool {
+        if self.is_covered(v) {
+            return false;
+        }
+        let id = self.centers.len() as NodeId;
+        self.assignment[v as usize].store(id, Ordering::Relaxed);
+        self.dist[v as usize].store(0, Ordering::Relaxed);
+        self.centers.push(v);
+        self.frontier.push(v);
+        self.covered += 1;
+        true
+    }
+
+    /// Executes one growth step; returns the number of newly covered nodes.
+    pub fn step(&mut self) -> usize {
+        if self.frontier.is_empty() {
+            self.steps += 1;
+            return 0;
+        }
+        let g = self.g;
+        let assignment = &self.assignment;
+        let dist = &self.dist;
+        let proposals = &self.proposals;
+
+        // Phase 1: propose. Candidates may repeat; dedup happens in phase 2.
+        let candidates: Vec<NodeId> = self
+            .frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &u| {
+                let owner = assignment[u as usize].load(Ordering::Relaxed);
+                let du = dist[u as usize].load(Ordering::Relaxed);
+                let prop = pack(owner, du + 1);
+                for &v in g.neighbors(u) {
+                    if assignment[v as usize].load(Ordering::Relaxed) == INVALID_NODE {
+                        proposals[v as usize].fetch_min(prop, Ordering::Relaxed);
+                        acc.push(v);
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+
+        // Phase 2: claim. `swap` drains each slot exactly once.
+        let next: Vec<NodeId> = candidates
+            .par_iter()
+            .fold(Vec::new, |mut acc, &v| {
+                let p = proposals[v as usize].swap(NO_PROPOSAL, Ordering::Relaxed);
+                if p != NO_PROPOSAL {
+                    let (owner, d) = unpack(p);
+                    assignment[v as usize].store(owner, Ordering::Relaxed);
+                    dist[v as usize].store(d, Ordering::Relaxed);
+                    acc.push(v);
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+
+        self.steps += 1;
+        self.covered += next.len();
+        self.frontier = next;
+        self.frontier.len()
+    }
+
+    /// Iterator over currently uncovered nodes (sequential scan).
+    pub fn uncovered_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.g.num_nodes() as NodeId)
+            .filter(move |&v| self.assignment[v as usize].load(Ordering::Relaxed) == INVALID_NODE)
+    }
+
+    /// Finalizes into a [`Clustering`]. Any still-uncovered nodes become
+    /// singleton clusters (the tail step of Algorithm 1).
+    pub fn finish(mut self) -> Clustering {
+        let leftovers: Vec<NodeId> = self.uncovered_nodes().collect();
+        for v in leftovers {
+            self.add_center(v);
+        }
+        let assignment: Vec<NodeId> = self
+            .assignment
+            .into_iter()
+            .map(AtomicU32::into_inner)
+            .collect();
+        let dist: Vec<u32> = self.dist.into_iter().map(AtomicU32::into_inner).collect();
+        let mut radii = vec![0u32; self.centers.len()];
+        for (v, &c) in assignment.iter().enumerate() {
+            radii[c as usize] = radii[c as usize].max(dist[v]);
+        }
+        Clustering {
+            assignment,
+            centers: self.centers,
+            dist_to_center: dist,
+            radii,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardec_graph::generators;
+
+    #[test]
+    fn single_center_is_bfs() {
+        let g = generators::mesh(6, 7);
+        let mut eng = GrowthEngine::new(&g);
+        assert!(eng.add_center(0));
+        while eng.uncovered() > 0 {
+            eng.step();
+        }
+        let c = eng.finish();
+        assert_eq!(c.num_clusters(), 1);
+        assert!(c.validate(&g).is_ok());
+        let bfs = pardec_graph::traversal::bfs(&g, 0);
+        assert_eq!(c.dist_to_center, bfs.dist);
+        assert_eq!(c.max_radius(), bfs.levels);
+    }
+
+    #[test]
+    fn duplicate_center_rejected() {
+        let g = generators::path(3);
+        let mut eng = GrowthEngine::new(&g);
+        assert!(eng.add_center(1));
+        assert!(!eng.add_center(1));
+        assert_eq!(eng.num_clusters(), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_break_prefers_smaller_owner() {
+        // Path 0-1-2, centers at 0 and 2 added in that order: node 1 is
+        // contested and must go to cluster 0 (smaller id).
+        let g = generators::path(3);
+        let mut eng = GrowthEngine::new(&g);
+        eng.add_center(0);
+        eng.add_center(2);
+        eng.step();
+        let c = eng.finish();
+        assert_eq!(c.assignment, vec![0, 0, 1]);
+        assert!(c.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn staggered_activation_distances() {
+        // Center 0 on a path; after 2 steps activate the far end.
+        let g = generators::path(6);
+        let mut eng = GrowthEngine::new(&g);
+        eng.add_center(0);
+        eng.step();
+        eng.step();
+        eng.add_center(5);
+        while eng.uncovered() > 0 {
+            eng.step();
+        }
+        let c = eng.finish();
+        assert!(c.validate(&g).is_ok());
+        assert_eq!(c.num_clusters(), 2);
+        // Node 5's cluster radius reflects its own growth, not cluster 0's.
+        assert_eq!(c.dist_to_center[5], 0);
+        assert!(c.max_radius() <= 3);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let g = generators::road_network(25, 25, 0.4, 3);
+        let run = || {
+            let mut eng = GrowthEngine::new(&g);
+            for v in [0u32, 100, 200, 300, 400, 500, 624] {
+                eng.add_center(v);
+            }
+            while eng.uncovered() > 0 {
+                if eng.step() == 0 && eng.frontier_len() == 0 {
+                    break;
+                }
+            }
+            eng.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn finish_covers_leftovers_as_singletons() {
+        let g = generators::disjoint_union(&generators::path(3), &generators::path(2));
+        let mut eng = GrowthEngine::new(&g);
+        eng.add_center(0);
+        eng.step();
+        eng.step();
+        // Second component untouched: nodes 3, 4 become singletons.
+        let c = eng.finish();
+        assert_eq!(c.num_clusters(), 3);
+        assert!(c.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn step_on_empty_frontier_is_noop() {
+        let g = generators::path(2);
+        let mut eng = GrowthEngine::new(&g);
+        assert_eq!(eng.step(), 0);
+        assert_eq!(eng.steps(), 1);
+        assert_eq!(eng.covered(), 0);
+    }
+}

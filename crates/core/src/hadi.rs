@@ -1,0 +1,353 @@
+//! The **HADI / ANF** baseline (refs \[16, 23\]): neighbourhood-function
+//! estimation with per-node distinct-count sketches.
+//!
+//! Each node `v` keeps a sketch of the ball `B(v, t)`; one iteration merges
+//! every neighbour's sketch (so after `t` iterations the sketch covers radius
+//! `t`). The neighbourhood function `N(t) = Σ_v |B(v, t)|` is read off the
+//! sketch estimates; the diameter estimate is the iteration where `N(t)`
+//! saturates. On a connected graph, *bitwise* sketch convergence happens at
+//! exactly `t = Δ` — but the estimator typically saturates slightly earlier
+//! (the paper's Table 4 shows HADI returning mild underestimates).
+//!
+//! Cost profile: `Θ(Δ)` rounds with `Θ(m)` sketch-merge communication
+//! **per round** — the expensive column of Table 4. The [`mr_hadi`] variant
+//! runs on the MR emulation and exposes that ledger.
+
+use pardec_graph::{CsrGraph, NodeId};
+use pardec_mr::{Combine, MrStats, VertexEngine};
+use pardec_sketch::{DistinctCounter, FmSketch};
+use rayon::prelude::*;
+
+/// Parameters of [`hadi`] / [`mr_hadi`].
+#[derive(Clone, Debug)]
+pub struct HadiParams {
+    /// FM trials per node sketch (more = tighter `N(t)`, linearly more
+    /// memory/communication). HADI's default regime is 32–64.
+    pub trials: usize,
+    /// Hash seed shared by all sketches.
+    pub seed: u64,
+    /// Hard iteration cap (defaults to `n`, i.e. effectively unbounded).
+    pub max_iters: usize,
+    /// Growth tolerance of the stopping rule: the estimate is the last `t`
+    /// with `N(t) > (1 + saturation) · N(t-1)` — HADI stops iterating when
+    /// the estimated neighbourhood function no longer grows measurably,
+    /// which yields the mild underestimates seen in the paper's Table 4.
+    pub saturation: f64,
+}
+
+impl HadiParams {
+    /// HADI defaults: 32 trials, `10⁻⁹` growth tolerance (any measurable
+    /// increase of the quantized FM estimate counts as growth).
+    pub fn new(seed: u64) -> Self {
+        HadiParams {
+            trials: 32,
+            seed,
+            max_iters: usize::MAX,
+            saturation: 1e-9,
+        }
+    }
+}
+
+/// Result of a HADI run.
+#[derive(Clone, Debug)]
+pub struct HadiResult {
+    /// Diameter estimate from neighbourhood-function saturation (the
+    /// number HADI reports; a mild *under*estimate on some graphs).
+    pub diameter_estimate: u32,
+    /// Iteration after which no sketch bit changed — equals `Δ` exactly on
+    /// connected graphs (up to the iteration cap).
+    pub bit_convergence: u32,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// `N(0), N(1), …` — the estimated neighbourhood function.
+    pub neighborhood: Vec<f64>,
+}
+
+fn saturation_estimate(neighborhood: &[f64], saturation: f64) -> u32 {
+    // Last t where the estimated N(t) still grew beyond the tolerance.
+    let mut estimate = 0u32;
+    for (t, w) in neighborhood.windows(2).enumerate() {
+        if w[1] > w[0] * (1.0 + saturation) {
+            estimate = (t + 1) as u32;
+        }
+    }
+    estimate
+}
+
+/// Generic shared-memory ANF: double-buffered parallel propagation of any
+/// [`DistinctCounter`] sketch family. [`hadi`] instantiates it with FM
+/// sketches (the HADI paper's choice), [`hyper_anf`] with HyperLogLog
+/// (Boldi–Rosa–Vigna's HyperANF, the §2 shared-memory competitor).
+pub fn anf_with<S, F>(g: &CsrGraph, make: F, max_iters: usize, saturation: f64) -> HadiResult
+where
+    S: DistinctCounter,
+    F: Fn(NodeId) -> S + Sync,
+{
+    let n = g.num_nodes();
+    if n == 0 {
+        return HadiResult {
+            diameter_estimate: 0,
+            bit_convergence: 0,
+            iterations: 0,
+            neighborhood: vec![0.0],
+        };
+    }
+    let mut cur: Vec<S> = (0..n as NodeId).into_par_iter().map(&make).collect();
+    let mut neighborhood = vec![cur.par_iter().map(|s| s.estimate()).sum::<f64>()];
+    let mut iterations = 0usize;
+    let mut bit_convergence = 0u32;
+
+    while iterations < max_iters {
+        let (next, changed): (Vec<S>, usize) = {
+            let cur_ref = &cur;
+            let merged: Vec<(S, bool)> = (0..n as NodeId)
+                .into_par_iter()
+                .map(|v| {
+                    let mut s = cur_ref[v as usize].clone();
+                    let mut changed = false;
+                    for &u in g.neighbors(v) {
+                        if s.would_change(&cur_ref[u as usize]) {
+                            s.merge(&cur_ref[u as usize]);
+                            changed = true;
+                        }
+                    }
+                    (s, changed)
+                })
+                .collect();
+            let changed = merged.iter().filter(|(_, c)| *c).count();
+            (merged.into_iter().map(|(s, _)| s).collect(), changed)
+        };
+        iterations += 1;
+        cur = next;
+        neighborhood.push(cur.par_iter().map(|s| s.estimate()).sum::<f64>());
+        if changed == 0 {
+            bit_convergence = (iterations - 1) as u32;
+            break;
+        }
+        bit_convergence = iterations as u32;
+    }
+
+    HadiResult {
+        diameter_estimate: saturation_estimate(&neighborhood, saturation),
+        bit_convergence,
+        iterations,
+        neighborhood,
+    }
+}
+
+/// Shared-memory ANF/HADI with Flajolet–Martin sketches.
+pub fn hadi(g: &CsrGraph, params: &HadiParams) -> HadiResult {
+    let (trials, seed) = (params.trials, params.seed);
+    anf_with(
+        g,
+        |v| {
+            let mut s = FmSketch::new(trials, seed);
+            s.add(v as u64);
+            s
+        },
+        params.max_iters,
+        params.saturation,
+    )
+}
+
+/// HyperANF: the same propagation with HyperLogLog registers
+/// (`2^precision` per node) — smaller sketches, tighter estimates, the
+/// variant the paper cites for tightly-coupled shared-memory machines.
+pub fn hyper_anf(g: &CsrGraph, precision: u8, seed: u64, params: &HadiParams) -> HadiResult {
+    anf_with(
+        g,
+        |v| {
+            let mut s = pardec_sketch::HllSketch::new(precision, seed);
+            s.add(v as u64);
+            s
+        },
+        params.max_iters,
+        params.saturation,
+    )
+}
+
+/// Sketch message for the MR variant (merge = union).
+#[derive(Clone, Debug)]
+struct SketchMsg(FmSketch);
+
+impl Combine for SketchMsg {
+    fn combine(&mut self, other: &Self) {
+        self.0.merge(&other.0);
+    }
+}
+
+/// HADI on the MR(M_G, M_L) emulation: one superstep per radius, every
+/// changed sketch rebroadcast to all neighbours. The returned [`MrStats`]
+/// shows the `Θ(m)`-pairs-per-round profile that makes HADI slow on
+/// long-diameter graphs (Table 4).
+pub fn mr_hadi(g: &CsrGraph, params: &HadiParams) -> (HadiResult, MrStats) {
+    let n = g.num_nodes();
+    if n == 0 {
+        return (
+            HadiResult {
+                diameter_estimate: 0,
+                bit_convergence: 0,
+                iterations: 0,
+                neighborhood: vec![0.0],
+            },
+            MrStats::default(),
+        );
+    }
+    let trials = params.trials;
+    let seed = params.seed;
+    let mut eng: VertexEngine<FmSketch, SketchMsg> = VertexEngine::new(g, |v| {
+        let mut s = FmSketch::new(trials, seed);
+        s.add(v as u64);
+        s
+    });
+    for v in 0..n as NodeId {
+        eng.post(v, SketchMsg(eng.state[v as usize].clone()));
+    }
+    let mut neighborhood = vec![eng.state.par_iter().map(|s| s.estimate()).sum::<f64>()];
+    let mut iterations = 0usize;
+    while iterations < params.max_iters {
+        let rep = eng.step(|_, s, m| {
+            if s.would_change(&m.0) {
+                s.merge(&m.0);
+                Some(SketchMsg(s.clone()))
+            } else {
+                None
+            }
+        });
+        iterations += 1;
+        neighborhood.push(eng.state.par_iter().map(|s| s.estimate()).sum::<f64>());
+        if rep.activated == 0 {
+            break;
+        }
+    }
+    let bit_convergence = (iterations.saturating_sub(1)) as u32;
+    let (_, stats) = eng.finish();
+    (
+        HadiResult {
+            diameter_estimate: saturation_estimate(&neighborhood, params.saturation),
+            bit_convergence,
+            iterations,
+            neighborhood,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardec_graph::diameter::apsp_diameter;
+    use pardec_graph::generators;
+
+    #[test]
+    fn bit_convergence_equals_diameter() {
+        for (name, g) in [
+            ("path", generators::path(20)),
+            ("mesh", generators::mesh(8, 11)),
+            ("cycle", generators::cycle(15)),
+        ] {
+            let delta = apsp_diameter(&g);
+            let r = hadi(&g, &HadiParams::new(3));
+            assert_eq!(r.bit_convergence, delta, "{name}");
+        }
+    }
+
+    #[test]
+    fn estimate_close_to_diameter() {
+        let g = generators::mesh(12, 12);
+        let delta = apsp_diameter(&g);
+        let r = hadi(&g, &HadiParams::new(1));
+        // HADI may underestimate, but not wildly (Table 4 behaviour).
+        assert!(r.diameter_estimate <= delta + 1);
+        assert!(
+            r.diameter_estimate as f64 >= 0.6 * delta as f64,
+            "estimate {} vs Δ {delta}",
+            r.diameter_estimate
+        );
+    }
+
+    #[test]
+    fn neighborhood_function_is_monotone_and_saturates_at_n_squared() {
+        let g = generators::preferential_attachment(300, 3, 4);
+        let r = hadi(&g, &HadiParams::new(5));
+        for w in r.neighborhood.windows(2) {
+            assert!(w[1] >= w[0] * 0.999, "N(t) not monotone: {w:?}");
+        }
+        let n = g.num_nodes() as f64;
+        let last = *r.neighborhood.last().unwrap();
+        // N(∞) = n² for a connected graph; FM error is within ~2x at 32 trials.
+        assert!(
+            last > 0.4 * n * n && last < 2.5 * n * n,
+            "N(∞) = {last} vs n² = {}",
+            n * n
+        );
+    }
+
+    #[test]
+    fn max_iters_cap_respected() {
+        let g = generators::path(50);
+        let mut p = HadiParams::new(0);
+        p.max_iters = 5;
+        let r = hadi(&g, &p);
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.neighborhood.len(), 6);
+    }
+
+    #[test]
+    fn mr_hadi_matches_shared_memory_rounds() {
+        let g = generators::mesh(7, 9);
+        let delta = apsp_diameter(&g);
+        let (r, stats) = mr_hadi(&g, &HadiParams::new(2));
+        assert_eq!(r.bit_convergence, delta);
+        // Per-round volume is Θ(m): the first round ships one sketch per arc.
+        let first = stats.rounds()[0].input_pairs;
+        assert_eq!(first, g.num_arcs());
+        // Θ(Δ) rounds.
+        assert!(stats.num_rounds() as u32 >= delta);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = hadi(&CsrGraph::empty(0), &HadiParams::new(0));
+        assert_eq!(r.diameter_estimate, 0);
+        let (r, _) = mr_hadi(&CsrGraph::empty(0), &HadiParams::new(0));
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn hyper_anf_bit_convergence_matches_diameter() {
+        let g = generators::mesh(9, 7);
+        let delta = apsp_diameter(&g);
+        let r = hyper_anf(&g, 8, 3, &HadiParams::new(3));
+        assert_eq!(r.bit_convergence, delta);
+    }
+
+    #[test]
+    fn hyper_anf_neighborhood_saturates_near_n_squared() {
+        let g = generators::preferential_attachment(400, 4, 6);
+        let r = hyper_anf(&g, 11, 1, &HadiParams::new(1));
+        let n = g.num_nodes() as f64;
+        let last = *r.neighborhood.last().unwrap();
+        // HLL at precision 11 (~2.3% error) should be much tighter than FM.
+        assert!(
+            (0.85 * n * n..1.15 * n * n).contains(&last),
+            "N(∞) = {last} vs n² = {}",
+            n * n
+        );
+    }
+
+    #[test]
+    fn hadi_and_hyper_anf_agree_on_convergence_round() {
+        let g = generators::road_network(12, 12, 0.3, 2);
+        let fm = hadi(&g, &HadiParams::new(5));
+        let hll = hyper_anf(&g, 8, 5, &HadiParams::new(5));
+        assert_eq!(fm.bit_convergence, hll.bit_convergence);
+    }
+
+    #[test]
+    fn disconnected_converges_to_max_component_diameter() {
+        let g = generators::disjoint_union(&generators::path(12), &generators::cycle(6));
+        let r = hadi(&g, &HadiParams::new(9));
+        assert_eq!(r.bit_convergence, 11);
+    }
+}

@@ -1,0 +1,436 @@
+//! §5 — the paper's algorithms driven through the MR(M_G, M_L) emulation,
+//! with full round and communication accounting.
+//!
+//! [`mr_cluster`] realizes each cluster-growing step as one vertex-program
+//! superstep (a constant number of MR sort/prefix rounds under
+//! `M_L = Ω(nᵋ)`, per Lemma 3), so the reported superstep count is the
+//! paper's round complexity up to a constant. The driver holds only
+//! `O(#centers)` state, mirroring a Spark driver.
+//!
+//! Together with [`pardec_mr::algo::mr_bfs`] and [`crate::hadi::mr_hadi`],
+//! this provides the three competitors of Table 4 under one cost model:
+//!
+//! | algorithm | rounds | communication |
+//! |---|---|---|
+//! | CLUSTER   | `R ≪ Δ` growth steps | aggregate `Θ(m)` |
+//! | BFS       | `Θ(Δ)` | aggregate `Θ(m)` |
+//! | HADI      | `Θ(Δ)` | `Θ(m)` **per round** |
+
+use crate::cluster::{log2n, ClusterParams, ClusterTrace, IterationTrace};
+use crate::clustering::Clustering;
+use pardec_graph::{CsrGraph, NodeId, INVALID_NODE};
+use pardec_mr::{Min, MrStats, VertexEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use pardec_mr::algo::{mr_bfs, mr_connected_components, MrRun};
+
+/// Per-vertex state of the MR CLUSTER program.
+#[derive(Clone, Copy, Debug)]
+struct NodeState {
+    owner: NodeId,
+    dist: u32,
+}
+
+#[inline]
+fn pack(owner: NodeId, dist: u32) -> u64 {
+    ((owner as u64) << 32) | dist as u64
+}
+
+#[inline]
+fn unpack(p: u64) -> (NodeId, u32) {
+    ((p >> 32) as NodeId, (p & 0xFFFF_FFFF) as u32)
+}
+
+/// Result of [`mr_cluster`].
+#[derive(Clone, Debug)]
+pub struct MrClusterResult {
+    pub clustering: Clustering,
+    pub trace: ClusterTrace,
+    /// Supersteps executed (≈ MR rounds up to the Lemma 3 constant).
+    pub supersteps: usize,
+    /// Communication ledger of the run.
+    pub stats: MrStats,
+}
+
+/// CLUSTER(τ) on the MR emulation (Algorithm 1 + Lemma 3 accounting).
+///
+/// Semantically equivalent to [`crate::cluster::cluster`] up to tie-breaking:
+/// claims resolve to the smallest `(owner, dist)` exactly like the
+/// shared-memory engine, but batch sampling consumes the RNG in a different
+/// order, so cluster *identities* differ across the two implementations
+/// while all Theorem 1 invariants hold.
+pub fn mr_cluster(g: &CsrGraph, params: &ClusterParams) -> MrClusterResult {
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut eng: VertexEngine<NodeState, Min<u64>> = VertexEngine::new(g, |_| NodeState {
+        owner: INVALID_NODE,
+        dist: 0,
+    });
+    let mut centers: Vec<NodeId> = Vec::new();
+    let mut covered = 0usize;
+    let mut trace = ClusterTrace::default();
+    let logn = log2n(n);
+    let threshold = (params.stop_factor * params.tau as f64 * logn).max(1.0);
+    let max_iterations = (2.0 * logn) as usize + 32;
+
+    let apply = |_v: NodeId, s: &mut NodeState, m: &Min<u64>| -> Option<Min<u64>> {
+        if s.owner != INVALID_NODE {
+            return None;
+        }
+        let (owner, dist) = unpack(m.0);
+        s.owner = owner;
+        s.dist = dist;
+        Some(Min(pack(owner, dist + 1)))
+    };
+
+    while ((n - covered) as f64) >= threshold && trace.iterations.len() < max_iterations {
+        let uncovered_before = n - covered;
+        let p = (params.batch_factor * params.tau as f64 * logn / uncovered_before as f64)
+            .clamp(0.0, 1.0);
+        // Driver-side batch selection (a filter over the state RDD).
+        let batch: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| eng.state[v as usize].owner == INVALID_NODE && rng.gen::<f64>() < p)
+            .collect();
+        let mut new_centers = 0usize;
+        for v in batch {
+            let id = centers.len() as NodeId;
+            eng.state[v as usize] = NodeState { owner: id, dist: 0 };
+            eng.post(v, Min(pack(id, 1)));
+            centers.push(v);
+            new_centers += 1;
+        }
+        if new_centers == 0 && eng.num_active() == 0 {
+            // Progress guard, as in the shared-memory implementation.
+            if let Some(v) = (0..n as NodeId).find(|&v| eng.state[v as usize].owner == INVALID_NODE)
+            {
+                let id = centers.len() as NodeId;
+                eng.state[v as usize] = NodeState { owner: id, dist: 0 };
+                eng.post(v, Min(pack(id, 1)));
+                centers.push(v);
+                new_centers = 1;
+            }
+        }
+        covered += new_centers;
+
+        let goal = uncovered_before.div_ceil(2);
+        let mut covered_this = new_centers;
+        let mut growth_steps = 0usize;
+        while covered_this < goal {
+            let rep = eng.step(apply);
+            growth_steps += 1;
+            covered_this += rep.activated;
+            covered += rep.activated;
+            if rep.activated == 0 && eng.num_active() == 0 {
+                break;
+            }
+        }
+        trace.iterations.push(IterationTrace {
+            uncovered_before,
+            new_centers,
+            growth_steps,
+            covered: covered_this,
+        });
+    }
+
+    // Tail sweep: leftovers become singleton clusters.
+    let mut tail = 0usize;
+    for v in 0..n as NodeId {
+        if eng.state[v as usize].owner == INVALID_NODE {
+            let id = centers.len() as NodeId;
+            eng.state[v as usize] = NodeState { owner: id, dist: 0 };
+            centers.push(v);
+            tail += 1;
+        }
+    }
+    trace.tail_singletons = tail;
+
+    let supersteps = eng.supersteps();
+    let (state, stats) = eng.finish();
+    let assignment: Vec<NodeId> = state.iter().map(|s| s.owner).collect();
+    let dist_to_center: Vec<u32> = state.iter().map(|s| s.dist).collect();
+    let mut radii = vec![0u32; centers.len()];
+    for (v, s) in state.iter().enumerate() {
+        let _ = v;
+        radii[s.owner as usize] = radii[s.owner as usize].max(s.dist);
+    }
+    MrClusterResult {
+        clustering: Clustering {
+            assignment,
+            centers,
+            dist_to_center,
+            radii,
+        },
+        trace,
+        supersteps,
+        stats,
+    }
+}
+
+/// CLUSTER2(τ) on the MR emulation (Algorithm 2 under the §5 cost model):
+/// an [`mr_cluster`] probe learns `R_ALG`, then `⌈log n⌉` batches each grow
+/// every active cluster for exactly `2·R_ALG` supersteps.
+///
+/// Returns the result plus the probe's `R_ALG`; the stats ledger covers the
+/// main loop (the probe's ledger is inside `probe_stats`).
+pub fn mr_cluster2(g: &CsrGraph, params: &ClusterParams) -> (MrClusterResult, u32) {
+    let n = g.num_nodes();
+    let probe = mr_cluster(g, params);
+    let r_alg = probe.clustering.max_radius();
+    let budget = (2 * r_alg).max(1) as usize;
+
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(1));
+    let mut eng: VertexEngine<NodeState, Min<u64>> = VertexEngine::new(g, |_| NodeState {
+        owner: INVALID_NODE,
+        dist: 0,
+    });
+    let mut centers: Vec<NodeId> = Vec::new();
+    let mut covered = 0usize;
+    let mut trace = ClusterTrace::default();
+    let iterations = crate::cluster::log2n(n).ceil() as u32;
+
+    let apply = |_v: NodeId, s: &mut NodeState, m: &Min<u64>| -> Option<Min<u64>> {
+        if s.owner != INVALID_NODE {
+            return None;
+        }
+        let (owner, dist) = unpack(m.0);
+        s.owner = owner;
+        s.dist = dist;
+        Some(Min(pack(owner, dist + 1)))
+    };
+
+    for i in 1..=iterations {
+        if covered == n {
+            break;
+        }
+        let uncovered_before = n - covered;
+        let p = (2f64.powi(i as i32) / n.max(1) as f64).clamp(0.0, 1.0);
+        let mut new_centers = 0usize;
+        for v in 0..n as NodeId {
+            if eng.state[v as usize].owner == INVALID_NODE && rng.gen::<f64>() < p {
+                let id = centers.len() as NodeId;
+                eng.state[v as usize] = NodeState { owner: id, dist: 0 };
+                eng.post(v, Min(pack(id, 1)));
+                centers.push(v);
+                new_centers += 1;
+            }
+        }
+        covered += new_centers;
+        let mut covered_this = new_centers;
+        let mut growth_steps = 0usize;
+        for _ in 0..budget {
+            if eng.num_active() == 0 {
+                break;
+            }
+            let rep = eng.step(apply);
+            growth_steps += 1;
+            covered_this += rep.activated;
+            covered += rep.activated;
+        }
+        trace.iterations.push(IterationTrace {
+            uncovered_before,
+            new_centers,
+            growth_steps,
+            covered: covered_this,
+        });
+    }
+
+    let mut tail = 0usize;
+    for v in 0..n as NodeId {
+        if eng.state[v as usize].owner == INVALID_NODE {
+            let id = centers.len() as NodeId;
+            eng.state[v as usize] = NodeState { owner: id, dist: 0 };
+            centers.push(v);
+            tail += 1;
+        }
+    }
+    trace.tail_singletons = tail;
+
+    let supersteps = eng.supersteps();
+    let (state, stats) = eng.finish();
+    let assignment: Vec<NodeId> = state.iter().map(|s| s.owner).collect();
+    let dist_to_center: Vec<u32> = state.iter().map(|s| s.dist).collect();
+    let mut radii = vec![0u32; centers.len()];
+    for s in &state {
+        radii[s.owner as usize] = radii[s.owner as usize].max(s.dist);
+    }
+    (
+        MrClusterResult {
+            clustering: Clustering {
+                assignment,
+                centers,
+                dist_to_center,
+                radii,
+            },
+            trace,
+            supersteps,
+            stats,
+        },
+        r_alg,
+    )
+}
+
+/// Theorem 4's second implementation: the (weighted) quotient diameter via
+/// Fact 2 min-plus **matrix squaring** on the MR engine, instead of a single
+/// local reducer. Returns the weighted quotient diameter and charges
+/// `2·⌈log₂ ℓ⌉` rounds to `eng`'s ledger.
+///
+/// Intended for quotients with `ℓ³ = O(M_G·√M_L)` (the paper's regime); the
+/// emulation accepts any size but the ledger exposes the cost.
+pub fn mr_quotient_diameter_by_squaring(
+    eng: &mut pardec_mr::MrEngine,
+    g: &CsrGraph,
+    clustering: &Clustering,
+    tile: usize,
+) -> Result<u64, pardec_mr::MrError> {
+    use pardec_mr::matrix::{mr_apsp_by_squaring, MinPlusMatrix};
+    let wq = clustering.weighted_quotient(g);
+    let edges: Vec<(u32, u32, u64)> = (0..wq.num_nodes() as NodeId)
+        .flat_map(|u| {
+            wq.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+        .collect();
+    let adj = MinPlusMatrix::from_edges(wq.num_nodes(), &edges);
+    let closure = mr_apsp_by_squaring(eng, &adj, tile)?;
+    Ok(closure.max_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::cluster;
+    use pardec_graph::generators;
+    use pardec_mr::{MrConfig, MrEngine};
+
+    #[test]
+    fn mr_cluster_valid_partition() {
+        let g = generators::mesh(20, 20);
+        let r = mr_cluster(&g, &ClusterParams::new(4, 3));
+        r.clustering.validate(&g).unwrap();
+        assert!(r.clustering.num_clusters() >= 4);
+        assert!(r.supersteps > 0);
+    }
+
+    #[test]
+    fn matches_shared_memory_statistically() {
+        // Same algorithm, different RNG consumption: cluster counts and
+        // radii must land in the same ballpark.
+        let g = generators::road_network(25, 25, 0.4, 8);
+        let sm = cluster(&g, &ClusterParams::new(4, 5));
+        let mr = mr_cluster(&g, &ClusterParams::new(4, 5));
+        mr.clustering.validate(&g).unwrap();
+        let (a, b) = (
+            sm.clustering.num_clusters() as f64,
+            mr.clustering.num_clusters() as f64,
+        );
+        assert!(a / b < 3.0 && b / a < 3.0, "cluster counts diverge: {a} vs {b}");
+        let (ra, rb) = (sm.clustering.max_radius(), mr.clustering.max_radius());
+        assert!(
+            ra.abs_diff(rb) <= ra.max(rb).max(4),
+            "radii diverge: {ra} vs {rb}"
+        );
+    }
+
+    #[test]
+    fn rounds_well_below_diameter_on_road() {
+        let g = generators::road_network(40, 40, 0.3, 1);
+        let delta = pardec_graph::diameter::exact_diameter(&g) as usize;
+        let r = mr_cluster(&g, &ClusterParams::new(16, 2));
+        assert!(
+            r.supersteps * 2 < delta,
+            "CLUSTER rounds {} not ≪ Δ {delta}",
+            r.supersteps
+        );
+        // BFS on the same engine needs Θ(Δ) rounds.
+        let bfs = mr_bfs(&g, 0);
+        assert!(bfs.supersteps + 2 >= delta / 2);
+        assert!(r.supersteps < bfs.supersteps);
+    }
+
+    #[test]
+    fn aggregate_communication_linear() {
+        let g = generators::mesh(25, 25);
+        let r = mr_cluster(&g, &ClusterParams::new(4, 7));
+        // Every arc carries O(1) claim messages across the whole run.
+        assert!(
+            r.stats.total_pairs() <= 3 * g.num_arcs() as u64 + g.num_nodes() as u64,
+            "total pairs {} vs arcs {}",
+            r.stats.total_pairs(),
+            g.num_arcs()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::preferential_attachment(300, 3, 2);
+        let a = mr_cluster(&g, &ClusterParams::new(2, 11));
+        let b = mr_cluster(&g, &ClusterParams::new(2, 11));
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.supersteps, b.supersteps);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = generators::disjoint_union(&generators::mesh(10, 10), &generators::path(30));
+        let r = mr_cluster(&g, &ClusterParams::new(2, 4));
+        r.clustering.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn mr_cluster2_valid_with_budgeted_batches() {
+        let g = generators::road_network(25, 25, 0.4, 6);
+        let (r, r_alg) = mr_cluster2(&g, &ClusterParams::new(2, 7));
+        r.clustering.validate(&g).unwrap();
+        let budget = (2 * r_alg).max(1) as usize;
+        for it in &r.trace.iterations {
+            assert!(it.growth_steps <= budget, "batch exceeded budget");
+        }
+        // Lemma 2 radius bound.
+        let bound =
+            (2.0 * r_alg.max(1) as f64 * (g.num_nodes() as f64).log2()).ceil() as u32;
+        assert!(
+            r.clustering.max_radius() <= bound,
+            "R_ALG2 {} > {bound}",
+            r.clustering.max_radius()
+        );
+    }
+
+    #[test]
+    fn mr_cluster2_matches_shared_memory_shape() {
+        let g = generators::mesh(20, 20);
+        let (mr2, _) = mr_cluster2(&g, &ClusterParams::new(4, 5));
+        let sm2 = crate::cluster2::cluster2(&g, &ClusterParams::new(4, 5));
+        mr2.clustering.validate(&g).unwrap();
+        let (a, b) = (
+            mr2.clustering.num_clusters() as f64,
+            sm2.clustering.num_clusters() as f64,
+        );
+        assert!(a / b < 4.0 && b / a < 4.0, "counts diverge: {a} vs {b}");
+    }
+
+    #[test]
+    fn matrix_squaring_matches_dijkstra_diameter() {
+        let g = generators::mesh(15, 15);
+        let c = cluster(&g, &ClusterParams::new(2, 3)).clustering;
+        let expected = c.weighted_quotient(&g).apsp_diameter();
+        let mut eng = MrEngine::new(MrConfig::with_partitions(8));
+        let got = mr_quotient_diameter_by_squaring(&mut eng, &g, &c, 8).unwrap();
+        assert_eq!(got, expected);
+        // 2 rounds per squaring, ⌈log₂ ℓ⌉ squarings.
+        let l = c.num_clusters();
+        let squarings = (usize::BITS - (l - 1).leading_zeros()) as usize;
+        assert_eq!(eng.stats().num_rounds(), 2 * squarings);
+    }
+
+    #[test]
+    fn matrix_squaring_respects_ml_ledger() {
+        // The Fact 2 trade-off: larger tiles load reducers more heavily.
+        let g = generators::mesh(12, 12);
+        let c = cluster(&g, &ClusterParams::new(1, 9)).clustering;
+        let mut eng = MrEngine::new(MrConfig::with_partitions(4));
+        let _ = mr_quotient_diameter_by_squaring(&mut eng, &g, &c, 4).unwrap();
+        assert!(eng.stats().max_local_memory() >= 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! §4 (closing remark) — a linear-space approximate **distance oracle**.
+//!
+//! Cluster the graph with CLUSTER2(τ), keep per-node `(cluster, distance to
+//! center)` and the APSP matrix of the weighted quotient graph. A query
+//! `(u, v)` answers
+//!
+//! ```text
+//! d′(u, v) = dist(u, c_u) + apsp[C_u][C_v] + dist(v, c_v)
+//! ```
+//!
+//! an upper bound on `dist(u, v)` that the paper shows is
+//! `O(dist(u, v)·log³ n + R_ALG2)` — polylogarithmic for far-apart pairs.
+//! With `τ = O(√n / log⁴ n)` the matrix is `O(n)` words, keeping the oracle
+//! linear-space.
+
+use crate::cluster::ClusterParams;
+use crate::cluster2::cluster2;
+use crate::clustering::Clustering;
+use crate::diameter::Decomposition;
+use pardec_graph::{CsrGraph, NodeId};
+
+/// Approximate distance oracle built from a clustering (§4).
+#[derive(Clone, Debug)]
+pub struct DistanceOracle {
+    assignment: Vec<NodeId>,
+    dist_to_center: Vec<u32>,
+    /// APSP over the weighted quotient (connecting-path metric).
+    apsp: Vec<Vec<u64>>,
+    radius: u32,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle with CLUSTER2(τ) (the paper's construction) or
+    /// plain CLUSTER (cheaper probe, same query logic).
+    pub fn build(g: &CsrGraph, tau: usize, seed: u64, decomposition: Decomposition) -> Self {
+        let params = ClusterParams::new(tau.max(1), seed);
+        let clustering: Clustering = match decomposition {
+            Decomposition::Cluster2 => cluster2(g, &params).clustering,
+            Decomposition::Cluster => crate::cluster::cluster(g, &params).clustering,
+        };
+        let wq = clustering.weighted_quotient(g);
+        let apsp = wq.apsp_matrix();
+        DistanceOracle {
+            radius: clustering.max_radius(),
+            assignment: clustering.assignment,
+            dist_to_center: clustering.dist_to_center,
+            apsp,
+        }
+    }
+
+    /// Builds from an existing clustering (reuse after a diameter run).
+    pub fn from_clustering(g: &CsrGraph, clustering: &Clustering) -> Self {
+        let wq = clustering.weighted_quotient(g);
+        DistanceOracle {
+            radius: clustering.max_radius(),
+            assignment: clustering.assignment.clone(),
+            dist_to_center: clustering.dist_to_center.clone(),
+            apsp: wq.apsp_matrix(),
+        }
+    }
+
+    /// Number of clusters (quotient nodes).
+    pub fn num_clusters(&self) -> usize {
+        self.apsp.len()
+    }
+
+    /// Max cluster radius of the underlying decomposition.
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Words of storage held (per-node arrays + quotient matrix) — the
+    /// linear-space claim is `n + n + q²` with `q = O(√n)`.
+    pub fn memory_words(&self) -> usize {
+        self.assignment.len() + self.dist_to_center.len() + self.apsp.len() * self.apsp.len()
+    }
+
+    /// Upper bound on `dist(u, v)`; `u64::MAX` when the endpoints are in
+    /// different connected components.
+    pub fn query(&self, u: NodeId, v: NodeId) -> u64 {
+        if u == v {
+            return 0;
+        }
+        let (cu, cv) = (self.assignment[u as usize], self.assignment[v as usize]);
+        let (du, dv) = (
+            self.dist_to_center[u as usize] as u64,
+            self.dist_to_center[v as usize] as u64,
+        );
+        if cu == cv {
+            // Through the shared center.
+            return du + dv;
+        }
+        let between = self.apsp[cu as usize][cv as usize];
+        if between == u64::MAX {
+            return u64::MAX;
+        }
+        du + between + dv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardec_graph::traversal::bfs;
+    use pardec_graph::generators;
+
+    fn check_oracle(g: &CsrGraph, oracle: &DistanceOracle, sources: &[NodeId]) {
+        for &u in sources {
+            let truth = bfs(g, u).dist;
+            for v in (0..g.num_nodes() as NodeId).step_by(7) {
+                let q = oracle.query(u, v);
+                let t = truth[v as usize];
+                if t == pardec_graph::INFINITE_DIST {
+                    assert_eq!(q, u64::MAX, "({u},{v}) should be unreachable");
+                } else {
+                    assert!(
+                        q >= t as u64,
+                        "oracle({u},{v}) = {q} below true distance {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_on_mesh() {
+        let g = generators::mesh(20, 20);
+        let oracle = DistanceOracle::build(&g, 4, 1, Decomposition::Cluster2);
+        check_oracle(&g, &oracle, &[0, 57, 399]);
+    }
+
+    #[test]
+    fn upper_bound_on_road() {
+        let g = generators::road_network(20, 20, 0.4, 5);
+        let oracle = DistanceOracle::build(&g, 4, 2, Decomposition::Cluster);
+        check_oracle(&g, &oracle, &[0, 100, 399]);
+    }
+
+    #[test]
+    fn stretch_is_moderate_for_far_pairs() {
+        // The guarantee is O(d log³n + R); empirically on a mesh the
+        // weighted-quotient routing stays within a small constant factor.
+        let g = generators::mesh(25, 25);
+        let oracle = DistanceOracle::build(&g, 8, 3, Decomposition::Cluster2);
+        let truth = bfs(&g, 0).dist;
+        let far = (g.num_nodes() - 1) as NodeId;
+        let q = oracle.query(0, far);
+        let t = truth[far as usize] as u64;
+        assert!(q <= 6 * t + 4 * oracle.radius() as u64, "stretch too big: {q} vs {t}");
+    }
+
+    #[test]
+    fn identity_and_symmetry_of_intra_cluster_queries() {
+        let g = generators::cycle(30);
+        let oracle = DistanceOracle::build(&g, 2, 7, Decomposition::Cluster);
+        assert_eq!(oracle.query(5, 5), 0);
+        assert_eq!(oracle.query(3, 9), oracle.query(9, 3));
+    }
+
+    #[test]
+    fn disconnected_reports_unreachable() {
+        let g = generators::disjoint_union(&generators::path(10), &generators::cycle(8));
+        let oracle = DistanceOracle::build(&g, 1, 0, Decomposition::Cluster);
+        assert_eq!(oracle.query(0, 15), u64::MAX);
+        assert!(oracle.query(0, 5) >= 5);
+    }
+
+    #[test]
+    fn from_clustering_matches_build() {
+        let g = generators::mesh(12, 12);
+        let params = ClusterParams::new(4, 9);
+        let c = crate::cluster::cluster(&g, &params).clustering;
+        let a = DistanceOracle::from_clustering(&g, &c);
+        // Smoke: same radius and cluster count as the source clustering.
+        assert_eq!(a.radius(), c.max_radius());
+        assert_eq!(a.num_clusters(), c.num_clusters());
+        assert!(a.memory_words() >= 2 * g.num_nodes());
+    }
+}

@@ -1,0 +1,352 @@
+//! §7 (future work) — decomposition of **weighted** graphs.
+//!
+//! The paper's conclusions sketch "a preliminary decomposition strategy
+//! that, together with the number of clusters and their weighted radius,
+//! also controls their hop radius, which governs the parallel depth". This
+//! module implements that strategy as a natural weighted analogue of
+//! CLUSTER(τ):
+//!
+//! * clusters grow at unit speed in *weighted* distance (an event-driven
+//!   multi-source Dijkstra, where a cluster activated at time `T` owns the
+//!   nodes `v` minimizing `T + w·dist(center, v)`);
+//! * a new batch of centers is drawn — with CLUSTER's own probabilities —
+//!   whenever the number of uncovered nodes has halved since the previous
+//!   batch;
+//! * both the **weighted radius** (cost of the claim path) and the **hop
+//!   radius** (its edge count, the parallel-depth proxy) are tracked per
+//!   cluster.
+
+use pardec_graph::{NodeId, WeightedGraph, INVALID_NODE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cluster::{log2n, ClusterParams};
+
+/// A clustering of a weighted graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedClustering {
+    /// `assignment[v]` = cluster id.
+    pub assignment: Vec<NodeId>,
+    /// `centers[c]` = center node of cluster `c`.
+    pub centers: Vec<NodeId>,
+    /// Weighted distance from each node to its center along the claim tree.
+    pub weighted_dist: Vec<u64>,
+    /// Hop count of each node's claim path.
+    pub hops: Vec<u32>,
+    /// Per-cluster maximum weighted distance.
+    pub weighted_radii: Vec<u64>,
+    /// Per-cluster maximum hop count — the parallel-depth proxy.
+    pub hop_radii: Vec<u32>,
+}
+
+impl WeightedClustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Maximum weighted radius over clusters.
+    pub fn max_weighted_radius(&self) -> u64 {
+        self.weighted_radii.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum hop radius over clusters.
+    pub fn max_hop_radius(&self) -> u32 {
+        self.hop_radii.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Structural validation: complete assignment, centers at distance 0,
+    /// every non-center has an in-cluster neighbour whose (weighted, hop)
+    /// labels are consistent with a claim-tree edge.
+    pub fn validate(&self, g: &WeightedGraph) -> Result<(), String> {
+        let n = g.num_nodes();
+        if self.assignment.len() != n {
+            return Err("assignment size mismatch".into());
+        }
+        for (c, &ctr) in self.centers.iter().enumerate() {
+            if self.assignment[ctr as usize] as usize != c {
+                return Err(format!("center {ctr} not in cluster {c}"));
+            }
+            if self.weighted_dist[ctr as usize] != 0 || self.hops[ctr as usize] != 0 {
+                return Err(format!("center {ctr} has nonzero labels"));
+            }
+        }
+        for v in 0..n as NodeId {
+            let vi = v as usize;
+            let c = self.assignment[vi];
+            if c == INVALID_NODE || c as usize >= self.centers.len() {
+                return Err(format!("node {v} unassigned"));
+            }
+            if self.hops[vi] == 0 {
+                if self.centers[c as usize] != v {
+                    return Err(format!("node {v} at hop 0 is not a center"));
+                }
+                continue;
+            }
+            let ok = g.neighbors(v).any(|(u, w)| {
+                self.assignment[u as usize] == c
+                    && self.hops[u as usize] == self.hops[vi] - 1
+                    && self.weighted_dist[u as usize] + w == self.weighted_dist[vi]
+            });
+            if !ok {
+                return Err(format!("node {v} lacks a claim-tree predecessor"));
+            }
+        }
+        let mut wr = vec![0u64; self.centers.len()];
+        let mut hr = vec![0u32; self.centers.len()];
+        for v in 0..n {
+            let c = self.assignment[v] as usize;
+            wr[c] = wr[c].max(self.weighted_dist[v]);
+            hr[c] = hr[c].max(self.hops[v]);
+        }
+        if wr != self.weighted_radii || hr != self.hop_radii {
+            return Err("recorded radii do not match assignment".into());
+        }
+        Ok(())
+    }
+}
+
+/// Weighted CLUSTER(τ): event-driven batched multi-source Dijkstra.
+///
+/// Batch activation follows Algorithm 1: while at least `8·τ·log n` nodes
+/// are uncovered, each uncovered node joins the next batch independently
+/// with probability `4·τ·log n / uncovered`; the batch activates when the
+/// previous batch's uncovered count has halved. Remaining nodes become
+/// singletons.
+pub fn weighted_cluster(g: &WeightedGraph, params: &ClusterParams) -> WeightedClustering {
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let logn = log2n(n);
+    let threshold = (params.stop_factor * params.tau as f64 * logn).max(1.0);
+
+    let mut assignment = vec![INVALID_NODE; n];
+    let mut weighted_dist = vec![0u64; n];
+    let mut hops = vec![0u32; n];
+    let mut centers: Vec<NodeId> = Vec::new();
+    let mut covered = 0usize;
+
+    // (arrival_time, node, owner, weighted_dist_from_center, hops)
+    type Event = (u64, NodeId, NodeId, u64, u32);
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut now = 0u64;
+
+    let mut batch_uncovered = n; // uncovered count at the last activation
+    let max_batches = (2.0 * logn) as usize + 32;
+    let mut batches = 0usize;
+
+    let activate = |rng: &mut StdRng,
+                        assignment: &mut [NodeId],
+                        centers: &mut Vec<NodeId>,
+                        heap: &mut BinaryHeap<Reverse<Event>>,
+                        covered: &mut usize,
+                        now: u64| {
+        let uncovered = n - *covered;
+        if uncovered == 0 {
+            return;
+        }
+        let p = (params.batch_factor * params.tau as f64 * logn / uncovered as f64).clamp(0.0, 1.0);
+        let mut picked_any = false;
+        let mut first_uncovered = None;
+        for v in 0..n as NodeId {
+            if assignment[v as usize] != INVALID_NODE {
+                continue;
+            }
+            if first_uncovered.is_none() {
+                first_uncovered = Some(v);
+            }
+            if rng.gen::<f64>() < p {
+                let id = centers.len() as NodeId;
+                assignment[v as usize] = id;
+                centers.push(v);
+                *covered += 1;
+                heap.push(Reverse((now, v, id, 0, 0)));
+                picked_any = true;
+            }
+        }
+        if !picked_any {
+            if let Some(v) = first_uncovered {
+                // Progress guard, as in the unweighted algorithm.
+                let id = centers.len() as NodeId;
+                assignment[v as usize] = id;
+                centers.push(v);
+                *covered += 1;
+                heap.push(Reverse((now, v, id, 0, 0)));
+            }
+        }
+    };
+
+    if (n as f64) >= threshold {
+        activate(&mut rng, &mut assignment, &mut centers, &mut heap, &mut covered, now);
+        batches = 1;
+        batch_uncovered = n;
+    }
+
+    while let Some(&Reverse((t, _, _, _, _))) = heap.peek() {
+        now = t;
+        // Pop and settle one event.
+        let Reverse((t, v, owner, wd, h)) = heap.pop().expect("peeked");
+        let fresh = assignment[v as usize] == INVALID_NODE
+            || (assignment[v as usize] == owner && weighted_dist[v as usize] == wd && hops[v as usize] == h);
+        if assignment[v as usize] == INVALID_NODE {
+            assignment[v as usize] = owner;
+            weighted_dist[v as usize] = wd;
+            hops[v as usize] = h;
+            covered += 1;
+        } else if !fresh {
+            continue; // stale event for an already-claimed node
+        }
+        for (u, w) in g.neighbors(v) {
+            if assignment[u as usize] == INVALID_NODE {
+                heap.push(Reverse((t + w, u, owner, wd + w, h + 1)));
+            }
+        }
+        // Batch policy: activate once the uncovered set has halved, while
+        // above the loop threshold.
+        let uncovered = n - covered;
+        if (uncovered as f64) >= threshold
+            && 2 * uncovered <= batch_uncovered
+            && batches < max_batches
+        {
+            activate(&mut rng, &mut assignment, &mut centers, &mut heap, &mut covered, now);
+            batches += 1;
+            batch_uncovered = uncovered;
+        }
+    }
+
+    // Tail singletons (disconnected remainders or below-threshold leftovers).
+    for v in 0..n as NodeId {
+        if assignment[v as usize] == INVALID_NODE {
+            let id = centers.len() as NodeId;
+            assignment[v as usize] = id;
+            centers.push(v);
+        }
+    }
+
+    let mut weighted_radii = vec![0u64; centers.len()];
+    let mut hop_radii = vec![0u32; centers.len()];
+    for v in 0..n {
+        let c = assignment[v] as usize;
+        weighted_radii[c] = weighted_radii[c].max(weighted_dist[v]);
+        hop_radii[c] = hop_radii[c].max(hops[v]);
+    }
+    WeightedClustering {
+        assignment,
+        centers,
+        weighted_dist,
+        hops,
+        weighted_radii,
+        hop_radii,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A weighted grid: rows × cols, horizontal weight 1, vertical weight 3.
+    fn weighted_grid(rows: usize, cols: usize) -> WeightedGraph {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let u = (r * cols + c) as NodeId;
+                if c + 1 < cols {
+                    edges.push((u, u + 1, 1u64));
+                }
+                if r + 1 < rows {
+                    edges.push((u, u + cols as NodeId, 3u64));
+                }
+            }
+        }
+        WeightedGraph::from_edges(rows * cols, &edges)
+    }
+
+    #[test]
+    fn partitions_weighted_grid() {
+        let g = weighted_grid(20, 20);
+        let r = weighted_cluster(&g, &ClusterParams::new(2, 3));
+        r.validate(&g).unwrap();
+        assert!(r.num_clusters() >= 2);
+        assert!(r.max_weighted_radius() > 0);
+    }
+
+    #[test]
+    fn hop_radius_bounded_by_weighted_radius() {
+        // All weights ≥ 1, so hops ≤ weighted distance pointwise.
+        let g = weighted_grid(15, 15);
+        let r = weighted_cluster(&g, &ClusterParams::new(2, 7));
+        for v in 0..g.num_nodes() {
+            assert!(r.hops[v] as u64 <= r.weighted_dist[v] + 1);
+        }
+        assert!(r.max_hop_radius() as u64 <= r.max_weighted_radius() + 1);
+    }
+
+    #[test]
+    fn tau_controls_granularity() {
+        let g = weighted_grid(25, 25);
+        let coarse = weighted_cluster(&g, &ClusterParams::new(1, 5));
+        let fine = weighted_cluster(&g, &ClusterParams::new(16, 5));
+        assert!(fine.num_clusters() > coarse.num_clusters());
+        assert!(fine.max_weighted_radius() <= coarse.max_weighted_radius());
+    }
+
+    #[test]
+    fn unit_weights_match_hop_metric() {
+        // With all weights 1, weighted distance = hops for every node.
+        let mut edges = Vec::new();
+        for v in 1..40u32 {
+            edges.push((v - 1, v, 1u64));
+        }
+        let g = WeightedGraph::from_edges(40, &edges);
+        let r = weighted_cluster(&g, &ClusterParams::new(1, 2));
+        r.validate(&g).unwrap();
+        for v in 0..40 {
+            assert_eq!(r.weighted_dist[v], r.hops[v] as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = weighted_grid(12, 12);
+        assert_eq!(
+            weighted_cluster(&g, &ClusterParams::new(2, 9)),
+            weighted_cluster(&g, &ClusterParams::new(2, 9))
+        );
+    }
+
+    #[test]
+    fn disconnected_weighted_graph() {
+        let g = WeightedGraph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (3, 4, 5)]);
+        let r = weighted_cluster(&g, &ClusterParams::new(1, 1));
+        r.validate(&g).unwrap();
+        // Node 5 is isolated -> singleton.
+        assert_eq!(r.hops[5], 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::from_edges(0, &[]);
+        let r = weighted_cluster(&g, &ClusterParams::new(1, 0));
+        assert_eq!(r.num_clusters(), 0);
+    }
+
+    #[test]
+    fn heavy_edges_steer_growth() {
+        // Two communities joined by a heavy bridge: with 2 centers seeded
+        // by batches, the heavy edge should rarely be crossed early —
+        // weighted radii stay below the bridge weight for fine clusterings.
+        let mut edges = Vec::new();
+        for v in 1..20u32 {
+            edges.push((v - 1, v, 1u64));
+        }
+        for v in 21..40u32 {
+            edges.push((v - 1, v, 1u64));
+        }
+        edges.push((19, 20, 1000));
+        let g = WeightedGraph::from_edges(40, &edges);
+        let r = weighted_cluster(&g, &ClusterParams::new(4, 3));
+        r.validate(&g).unwrap();
+        assert!(r.max_weighted_radius() < 1000 + 40);
+    }
+}

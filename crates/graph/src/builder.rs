@@ -1,0 +1,167 @@
+//! Edge-list → CSR construction with cleaning (symmetrization, dedup,
+//! self-loop removal).
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+use rayon::prelude::*;
+
+/// Accumulates an edge list and materializes a clean [`CsrGraph`].
+///
+/// The builder accepts arbitrary (possibly duplicated, possibly one-sided)
+/// edge pairs; `build` symmetrizes, drops self-loops and parallel edges, and
+/// sorts adjacency lists. Construction of large graphs is parallelized with
+/// a single `par_sort_unstable` over the arc list.
+///
+/// ```
+/// use pardec_graph::GraphBuilder;
+/// let g = GraphBuilder::new(4)
+///     .add_edges([(0, 1), (1, 0), (1, 1), (2, 3), (2, 3)])
+///     .build();
+/// assert_eq!(g.num_edges(), 2); // {0,1} and {2,3}
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes labelled `0..n`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n < NodeId::MAX as usize,
+            "node count {n} exceeds NodeId range"
+        );
+        GraphBuilder {
+            num_nodes: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-reserves capacity for `m` additional edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of nodes the final graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Adds one undirected edge. Self-loops and duplicates are tolerated and
+    /// removed at build time.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.num_nodes
+        );
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds a batch of edges (chainable, by-value variant for literals).
+    pub fn add_edges(mut self, it: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Adds a batch of edges through a mutable reference.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (NodeId, NodeId)>) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Current number of raw (uncleaned) edge records.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Materializes the cleaned CSR graph, consuming the builder.
+    pub fn build(self) -> CsrGraph {
+        let n = self.num_nodes;
+        // Symmetrize: one arc per direction, skipping self-loops.
+        let mut arcs: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            if u != v {
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+        }
+        if arcs.len() >= 1 << 16 {
+            arcs.par_sort_unstable();
+        } else {
+            arcs.sort_unstable();
+        }
+        arcs.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = arcs.into_iter().map(|(_, v)| v).collect();
+        CsrGraph::from_parts(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_symmetrize() {
+        let g = GraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 0), (0, 1), (1, 2)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_removed() {
+        let g = GraphBuilder::new(2).add_edges([(0, 0), (1, 1), (0, 1)]).build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn isolated_nodes_preserved() {
+        let g = GraphBuilder::new(10).add_edges([(0, 9)]).build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn build_empty() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = GraphBuilder::new(5)
+            .add_edges([(2, 4), (2, 0), (2, 3), (2, 1)])
+            .build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+}

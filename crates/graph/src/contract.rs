@@ -1,0 +1,233 @@
+//! Graph contraction and induced subgraphs.
+//!
+//! §5 of the paper implements cluster growing "as a progressive shrinking
+//! of the original graph, by maintaining clusters coalesced into single
+//! nodes and updating the adjacencies accordingly". [`contract`] is that
+//! coalescing operation: it maps a labelled graph to its quotient while
+//! keeping the bookkeeping (node weights = cluster sizes, edge
+//! multiplicities = cut sizes) that the shrinking representation needs.
+//! [`induced_subgraph`] extracts the subgraph on an arbitrary node subset
+//! with an id mapping — used by per-component analyses.
+
+use crate::{CsrGraph, GraphBuilder, NodeId, INVALID_NODE};
+use std::collections::HashMap;
+
+/// Result of [`contract`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contraction {
+    /// The contracted (quotient) graph: one node per label, simple edges.
+    pub graph: CsrGraph,
+    /// `node_weight[c]` = number of original nodes with label `c`.
+    pub node_weight: Vec<u64>,
+    /// `edge_multiplicity[(a, b)]` (with `a < b`) = number of original
+    /// edges crossing labels `a` and `b`.
+    pub edge_multiplicity: HashMap<(NodeId, NodeId), u64>,
+    /// Original edges inside a single label (the coalesced mass).
+    pub internal_edges: u64,
+}
+
+/// Coalesces each label class of `g` into a single node.
+///
+/// # Panics
+/// Panics if `labels.len() != g.num_nodes()` or a label is `≥ num_labels`.
+pub fn contract(g: &CsrGraph, labels: &[NodeId], num_labels: usize) -> Contraction {
+    assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
+    let mut node_weight = vec![0u64; num_labels];
+    for &l in labels {
+        assert!((l as usize) < num_labels, "label {l} out of range");
+        node_weight[l as usize] += 1;
+    }
+    let mut edge_multiplicity: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+    let mut internal_edges = 0u64;
+    for (u, v) in g.edges() {
+        let (a, b) = (labels[u as usize], labels[v as usize]);
+        if a == b {
+            internal_edges += 1;
+        } else {
+            *edge_multiplicity.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+        }
+    }
+    let mut builder = GraphBuilder::with_capacity(num_labels, edge_multiplicity.len());
+    for &(a, b) in edge_multiplicity.keys() {
+        builder.add_edge(a, b);
+    }
+    Contraction {
+        graph: builder.build(),
+        node_weight,
+        edge_multiplicity,
+        internal_edges,
+    }
+}
+
+/// Extracts the subgraph induced by `nodes` (need not be sorted; duplicates
+/// are ignored). Returns the subgraph and `orig_id[new] = old`.
+pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+    let mut new_id = vec![INVALID_NODE; g.num_nodes()];
+    let mut orig_id: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        assert!((v as usize) < g.num_nodes(), "node {v} out of range");
+        if new_id[v as usize] == INVALID_NODE {
+            new_id[v as usize] = orig_id.len() as NodeId;
+            orig_id.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(orig_id.len());
+    for &v in &orig_id {
+        for &w in g.neighbors(v) {
+            if v < w && new_id[w as usize] != INVALID_NODE {
+                b.add_edge(new_id[v as usize], new_id[w as usize]);
+            }
+        }
+    }
+    (b.build(), orig_id)
+}
+
+/// Relabels the graph in BFS discovery order from `root` (unreached nodes
+/// keep their relative order after the reached ones). Returns the relabelled
+/// graph and `old_of_new[new] = old`.
+///
+/// BFS ordering places each node near its neighbours in memory, improving
+/// the cache behaviour of frontier scans — a standard preprocessing step for
+/// the level-synchronous traversals every algorithm in this workspace runs.
+pub fn relabel_bfs(g: &CsrGraph, root: NodeId) -> (CsrGraph, Vec<NodeId>) {
+    let n = g.num_nodes();
+    assert!((root as usize) < n || n == 0, "root out of range");
+    let mut old_of_new: Vec<NodeId> = Vec::with_capacity(n);
+    let mut new_of_old: Vec<NodeId> = vec![INVALID_NODE; n];
+    if n > 0 {
+        let mut queue = std::collections::VecDeque::from([root]);
+        new_of_old[root as usize] = 0;
+        old_of_new.push(root);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if new_of_old[v as usize] == INVALID_NODE {
+                    new_of_old[v as usize] = old_of_new.len() as NodeId;
+                    old_of_new.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        for v in 0..n as NodeId {
+            if new_of_old[v as usize] == INVALID_NODE {
+                new_of_old[v as usize] = old_of_new.len() as NodeId;
+                old_of_new.push(v);
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges());
+    for (u, v) in g.edges() {
+        b.add_edge(new_of_old[u as usize], new_of_old[v as usize]);
+    }
+    (b.build(), old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn contract_path_pairs() {
+        // 0-1-2-3-4-5 with labels [0,0,1,1,2,2].
+        let g = generators::path(6);
+        let c = contract(&g, &[0, 0, 1, 1, 2, 2], 3);
+        assert_eq!(c.graph.num_nodes(), 3);
+        assert_eq!(c.graph.num_edges(), 2);
+        assert_eq!(c.node_weight, vec![2, 2, 2]);
+        assert_eq!(c.internal_edges, 3);
+        assert_eq!(c.edge_multiplicity[&(0, 1)], 1);
+    }
+
+    #[test]
+    fn contract_counts_multiplicities() {
+        // Complete graph on 4 nodes, split 2/2: 4 cut edges, 2 internal.
+        let g = generators::complete(4);
+        let c = contract(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(c.graph.num_edges(), 1);
+        assert_eq!(c.edge_multiplicity[&(0, 1)], 4);
+        assert_eq!(c.internal_edges, 2);
+    }
+
+    #[test]
+    fn contract_identity_labels() {
+        let g = generators::cycle(8);
+        let labels: Vec<NodeId> = (0..8).collect();
+        let c = contract(&g, &labels, 8);
+        assert_eq!(c.graph, g);
+        assert!(c.node_weight.iter().all(|&w| w == 1));
+        assert_eq!(c.internal_edges, 0);
+    }
+
+    #[test]
+    fn contract_matches_quotient() {
+        // The contracted simple graph must equal the quotient module's view.
+        let g = generators::road_network(12, 12, 0.4, 5);
+        let labels: Vec<NodeId> = (0..g.num_nodes() as NodeId).map(|v| v % 10).collect();
+        let c = contract(&g, &labels, 10);
+        let q = crate::quotient::quotient(&g, &labels, 10);
+        assert_eq!(c.graph, q);
+        // Total mass is conserved.
+        let cut: u64 = c.edge_multiplicity.values().sum();
+        assert_eq!(cut + c.internal_edges, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn induced_subgraph_square() {
+        let g = generators::mesh(3, 3);
+        let (sub, orig) = induced_subgraph(&g, &[0, 1, 3, 4]);
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(sub.num_edges(), 4); // the 2×2 sub-square
+        assert_eq!(orig, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_and_relabels() {
+        let g = generators::path(5);
+        let (sub, orig) = induced_subgraph(&g, &[4, 2, 4, 3]);
+        assert_eq!(orig, vec![4, 2, 3]);
+        assert_eq!(sub.num_edges(), 2); // 2-3 and 3-4
+        assert!(sub.has_edge(1, 2)); // relabelled 2-3
+    }
+
+    #[test]
+    fn induced_subgraph_empty_selection() {
+        let g = generators::cycle(5);
+        let (sub, orig) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(orig.is_empty());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = generators::road_network(15, 15, 0.4, 8);
+        let (r, old_of_new) = relabel_bfs(&g, 7);
+        assert_eq!(r.num_nodes(), g.num_nodes());
+        assert_eq!(r.num_edges(), g.num_edges());
+        // Distances are isomorphic: dist_r(new(u), new(v)) == dist_g(u, v).
+        let dg = crate::traversal::bfs(&g, 7).dist;
+        let dr = crate::traversal::bfs(&r, 0).dist; // 7 relabels to 0
+        for new in 0..r.num_nodes() {
+            let old = old_of_new[new] as usize;
+            assert_eq!(dr[new], dg[old], "distance mismatch at new id {new}");
+        }
+    }
+
+    #[test]
+    fn relabel_orders_by_bfs_level() {
+        // On a path rooted at 0, BFS order is the identity.
+        let g = generators::path(8);
+        let (r, old_of_new) = relabel_bfs(&g, 0);
+        assert_eq!(r, g);
+        assert_eq!(old_of_new, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relabel_handles_disconnected() {
+        let g = generators::disjoint_union(&generators::path(3), &generators::cycle(4));
+        let (r, old_of_new) = relabel_bfs(&g, 1);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(old_of_new.len(), 7);
+        // Unreached component keeps relative order at the tail.
+        assert_eq!(&old_of_new[3..], &[3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Compressed sparse row storage for unweighted, undirected graphs.
+
+use crate::NodeId;
+
+/// An unweighted, undirected graph in compressed sparse row form.
+///
+/// Each undirected edge `{u, v}` is stored twice (once in each endpoint's
+/// adjacency list); adjacency lists are sorted ascending and free of
+/// duplicates and self-loops. The representation is immutable — build graphs
+/// through [`crate::builder::GraphBuilder`] or the generator functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u + 1]` indexes `targets` for node `u`; length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated adjacency lists; length `2m`.
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent: wrong offset bounds,
+    /// non-monotone offsets, out-of-range targets, self-loops, duplicate
+    /// neighbours, or unsorted adjacency lists. Intended for internal use by
+    /// the builder; external callers should prefer [`crate::GraphBuilder`].
+    pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        let g = CsrGraph { offsets, targets };
+        debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        g
+    }
+
+    /// The empty graph on `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of directed arcs stored (`2m`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Sorted slice of neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Raw offsets array (length `n + 1`). Exposed for zero-copy consumers
+    /// such as the binary I/O codec and the MR engine's edge partitioner.
+    #[inline]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw concatenated adjacency array (length `2m`).
+    #[inline]
+    pub fn raw_targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|u| self.offsets[u + 1] - self.offsets[u])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verifies the structural invariants of the representation. Returns a
+    /// description of the first violation found, if any. Used by debug
+    /// assertions and by property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        for u in 0..n {
+            if self.offsets[u] > self.offsets[u + 1] {
+                return Err(format!("offsets not monotone at node {u}"));
+            }
+            let adj = &self.targets[self.offsets[u]..self.offsets[u + 1]];
+            for w in adj.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {u} not strictly sorted"));
+                }
+            }
+            for &v in adj {
+                if v as usize >= n {
+                    return Err(format!("edge target {v} out of range (n = {n})"));
+                }
+                if v as usize == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+            }
+        }
+        // Symmetry: every arc has its reverse.
+        for u in 0..n as NodeId {
+            for &v in self.neighbors(u) {
+                if !self.has_edge(v, u) {
+                    return Err(format!("missing reverse arc for ({u}, {v})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        GraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(4).is_empty());
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = GraphBuilder::new(4)
+            .add_edges([(0, 1), (0, 2), (0, 3)])
+            .build();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(CsrGraph::empty(0).max_degree(), 0);
+    }
+
+    #[test]
+    fn invariant_checker_catches_asymmetry() {
+        let g = CsrGraph {
+            offsets: vec![0, 1, 1],
+            targets: vec![1],
+        };
+        assert!(g.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariant_checker_catches_self_loop() {
+        let g = CsrGraph {
+            offsets: vec![0, 1],
+            targets: vec![0],
+        };
+        assert!(g.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic structured generators: paths, cycles, stars, cliques,
+//! meshes, and tori.
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+
+/// Path graph `0 - 1 - … - (n-1)`; diameter `n - 1`.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n as NodeId {
+        b.add_edge(u - 1, u);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n ≥ 3` nodes; diameter `⌊n/2⌋`.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for u in 0..n as NodeId {
+        b.add_edge(u, ((u as usize + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// Star graph: node 0 adjacent to all others; diameter 2 (for `n ≥ 3`).
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n as NodeId {
+        b.add_edge(0, u);
+    }
+    b.build()
+}
+
+/// Complete graph on `n` nodes; diameter 1 (for `n ≥ 2`).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` 2-D mesh (grid). Node `(r, c)` has id `r * cols + c`.
+///
+/// * nodes: `rows * cols`
+/// * edges: `rows * (cols - 1) + cols * (rows - 1)`
+/// * diameter: `(rows - 1) + (cols - 1)`
+///
+/// `mesh(1000, 1000)` is exactly the paper's `mesh1000` dataset
+/// (1,000,000 nodes, 1,998,000 edges, diameter 1998).
+pub fn mesh(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let m = rows * cols.saturating_sub(1) + cols * rows.saturating_sub(1);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                b.add_edge(u, u + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(u, u + cols as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` 2-D torus (mesh with wraparound edges); vertex-transitive,
+/// diameter `⌊rows/2⌋ + ⌊cols/2⌋`.
+///
+/// # Panics
+/// Panics if either dimension is below 3 (wraparound would create parallel
+/// edges or self-loops).
+pub fn torus(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = (r * cols + c) as NodeId;
+            let right = (r * cols + (c + 1) % cols) as NodeId;
+            let down = (((r + 1) % rows) * cols + c) as NodeId;
+            b.add_edge(u, right);
+            b.add_edge(u, down);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(traversal::eccentricity(&g, 0), 5);
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(path(0).num_nodes(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(8);
+        assert_eq!(g.num_edges(), 8);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(traversal::eccentricity(&g, 0), 1);
+        assert_eq!(traversal::eccentricity(&g, 1), 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(traversal::eccentricity(&g, 2), 1);
+    }
+
+    #[test]
+    fn mesh_counts_match_paper_formula() {
+        // The paper's mesh1000 identities at a smaller scale.
+        let g = mesh(50, 40);
+        assert_eq!(g.num_nodes(), 2000);
+        assert_eq!(g.num_edges(), 50 * 39 + 40 * 49);
+        assert_eq!(traversal::eccentricity(&g, 0), 49 + 39);
+    }
+
+    #[test]
+    fn mesh_single_row_is_path() {
+        let g = mesh(1, 9);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(traversal::eccentricity(&g, 0), 8);
+    }
+
+    #[test]
+    fn torus_regular_degree_four() {
+        let g = torus(5, 7);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert_eq!(g.num_edges(), 2 * 35);
+        assert_eq!(traversal::eccentricity(&g, 0), 2 + 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Composite constructions: disjoint unions, bridging edges, the §3
+//! lollipop example, and the chain-appended variants of Figure 1.
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+
+/// Disjoint union of two graphs; nodes of `b` are relabelled by `+a.num_nodes()`.
+pub fn disjoint_union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
+    let na = a.num_nodes();
+    let mut builder =
+        GraphBuilder::with_capacity(na + b.num_nodes(), a.num_edges() + b.num_edges());
+    for (u, v) in a.edges() {
+        builder.add_edge(u, v);
+    }
+    for (u, v) in b.edges() {
+        builder.add_edge(u + na as NodeId, v + na as NodeId);
+    }
+    builder.build()
+}
+
+/// Copy of `g` with the extra undirected edges in `extra` added.
+pub fn connect(g: &CsrGraph, extra: &[(NodeId, NodeId)]) -> CsrGraph {
+    let mut builder = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges() + extra.len());
+    for (u, v) in g.edges() {
+        builder.add_edge(u, v);
+    }
+    for &(u, v) in extra {
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+/// Appends a fresh chain of `chain_len` nodes to `attach`, as in the Figure 1
+/// workload: `attach - n - (n+1) - … - (n + chain_len - 1)` where `n` is the
+/// original node count. Raises the diameter by up to `chain_len` without
+/// otherwise altering the base graph.
+pub fn append_chain(g: &CsrGraph, attach: NodeId, chain_len: usize) -> CsrGraph {
+    assert!((attach as usize) < g.num_nodes(), "attach node out of range");
+    let n = g.num_nodes();
+    let mut builder = GraphBuilder::with_capacity(n + chain_len, g.num_edges() + chain_len);
+    for (u, v) in g.edges() {
+        builder.add_edge(u, v);
+    }
+    let mut prev = attach;
+    for i in 0..chain_len {
+        let fresh = (n + i) as NodeId;
+        builder.add_edge(prev, fresh);
+        prev = fresh;
+    }
+    builder.build()
+}
+
+/// The §3 lollipop: a random `d`-regular expander on `expander_nodes` nodes
+/// glued (at its node 0) to a path of `tail_len` nodes. The decomposition's
+/// maximum radius on this graph is polylogarithmic while the diameter is
+/// `Ω(tail_len)` — the paper's motivating example for radius ≪ Δ.
+pub fn lollipop(expander_nodes: usize, d: usize, tail_len: usize, seed: u64) -> CsrGraph {
+    let expander = super::random_regular(expander_nodes, d, seed);
+    append_chain(&expander, 0, tail_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{components, generators, traversal};
+
+    #[test]
+    fn union_counts() {
+        let a = generators::cycle(4);
+        let b = generators::path(3);
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.num_nodes(), 7);
+        assert_eq!(u.num_edges(), 6);
+        let (count, _) = components::connected_components(&u);
+        assert_eq!(count, 2);
+        assert!(u.has_edge(4, 5)); // relabelled path edge
+    }
+
+    #[test]
+    fn connect_bridges_components() {
+        let a = generators::cycle(4);
+        let b = generators::path(3);
+        let u = connect(&disjoint_union(&a, &b), &[(0, 4)]);
+        let (count, _) = components::connected_components(&u);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn chain_raises_diameter_exactly() {
+        // Appending at an end of a path extends the path.
+        let g = generators::path(5);
+        let g2 = append_chain(&g, 4, 10);
+        assert_eq!(g2.num_nodes(), 15);
+        assert_eq!(traversal::eccentricity(&g2, 0), 14);
+    }
+
+    #[test]
+    fn chain_len_zero_is_identity() {
+        let g = generators::cycle(6);
+        assert_eq!(append_chain(&g, 2, 0), g);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(500, 4, 100, 9);
+        assert_eq!(g.num_nodes(), 600);
+        let (count, _) = components::connected_components(&g);
+        assert_eq!(count, 1);
+        // Path end must be far from everything.
+        let ecc_tip = traversal::eccentricity(&g, 599);
+        assert!(ecc_tip >= 100, "lollipop tip eccentricity {ecc_tip}");
+        // Expander interior stays shallow (tip dominates its eccentricity).
+        let bfs_inside = traversal::bfs(&g, 1);
+        let max_in_expander = (0..500).map(|v| bfs_inside.dist[v]).max().unwrap();
+        assert!(max_in_expander <= 15, "expander part too deep: {max_in_expander}");
+    }
+}

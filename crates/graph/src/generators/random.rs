@@ -1,0 +1,168 @@
+//! Unstructured random graph generators: Erdős–Rényi G(n, m) and random
+//! d-regular graphs (configuration model with swap repair).
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Erdős–Rényi G(n, m): `m` distinct undirected edges sampled uniformly
+/// without replacement (no self-loops).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n-1)/2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "G(n, m): m = {m} exceeds {max_edges}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Random d-regular graph via the configuration model: `d` stubs per node are
+/// shuffled and paired; invalid pairs (self-loops, parallel edges) are then
+/// repaired by random swaps with valid pairs. With `d ≪ √n` the repair loop
+/// converges almost immediately; a full reshuffle backstops pathological
+/// seeds.
+///
+/// Random regular graphs are expanders with high probability, which is what
+/// the §3 lollipop example needs.
+///
+/// # Panics
+/// Panics if `n * d` is odd or `d ≥ n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
+    assert!((n * d).is_multiple_of(2), "n * d must be even");
+    assert!(d < n, "degree must be below n");
+    if d == 0 || n == 0 {
+        return CsrGraph::empty(n);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    'restart: for _attempt in 0..64 {
+        let mut stubs: Vec<NodeId> = (0..n as NodeId)
+            .flat_map(|u| std::iter::repeat_n(u, d))
+            .collect();
+        stubs.shuffle(&mut rng);
+        let mut pairs: Vec<(NodeId, NodeId)> = stubs
+            .chunks_exact(2)
+            .map(|c| (c[0].min(c[1]), c[0].max(c[1])))
+            .collect();
+        let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(pairs.len() * 2);
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &p) in pairs.iter().enumerate() {
+            if p.0 == p.1 || !seen.insert(p) {
+                bad.push(i);
+            }
+        }
+        // Swap-repair: exchange one endpoint of a bad pair with a random
+        // partner pair; accept only swaps where both results are fresh valid
+        // edges.
+        let mut budget = 200 * pairs.len().max(1);
+        while let Some(&i) = bad.last() {
+            if budget == 0 {
+                continue 'restart;
+            }
+            budget -= 1;
+            let j = rng.gen_range(0..pairs.len());
+            if j == i {
+                continue;
+            }
+            let (a, bme) = pairs[i];
+            let (c, dd) = pairs[j];
+            let p1 = (a.min(c), a.max(c));
+            let p2 = (bme.min(dd), bme.max(dd));
+            if p1.0 == p1.1 || p2.0 == p2.1 || p1 == p2 {
+                continue;
+            }
+            if seen.contains(&p1) || seen.contains(&p2) {
+                continue;
+            }
+            // The bad pair was never inserted (it was invalid); the partner was.
+            seen.remove(&pairs[j]);
+            seen.insert(p1);
+            seen.insert(p2);
+            pairs[i] = p1;
+            pairs[j] = p2;
+            bad.pop();
+            // The partner pair (now p2) is valid by construction; only the
+            // repaired slot could have been in `bad` — and it no longer is.
+        }
+        let mut b = GraphBuilder::with_capacity(n, pairs.len());
+        for (u, v) in pairs {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        if g.num_edges() == n * d / 2 {
+            return g;
+        }
+    }
+    panic!("random_regular({n}, {d}): failed to produce a simple graph");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(50, 200, 7);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn gnm_deterministic_per_seed() {
+        assert_eq!(gnm(30, 60, 1), gnm(30, 60, 1));
+        assert_ne!(gnm(30, 60, 1), gnm(30, 60, 2));
+    }
+
+    #[test]
+    fn gnm_complete() {
+        let g = gnm(6, 15, 3);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn regular_degrees() {
+        for d in [2usize, 3, 4, 8] {
+            let n = if (1000 * d) % 2 == 0 { 1000 } else { 1001 };
+            let g = random_regular(n, d, 42 + d as u64);
+            assert_eq!(g.num_edges(), n * d / 2);
+            for u in g.nodes() {
+                assert_eq!(g.degree(u), d, "degree mismatch at {u} for d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_is_expander_in_practice() {
+        // Random 4-regular graphs on 2000 nodes are connected with
+        // overwhelming probability and have O(log n) diameter.
+        let g = random_regular(2000, 4, 11);
+        let (count, _) = components::connected_components(&g);
+        assert_eq!(count, 1);
+        let ecc = crate::traversal::eccentricity(&g, 0);
+        assert!(ecc <= 20, "expander eccentricity {ecc} too large");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn regular_odd_total_degree_panics() {
+        random_regular(5, 3, 0);
+    }
+}

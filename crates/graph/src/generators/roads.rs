@@ -1,0 +1,116 @@
+//! Synthetic road networks: sparsified grids standing in for the paper's
+//! roads-CA/PA/TX datasets.
+//!
+//! Real road networks are near-planar, degree-bounded, have doubling
+//! dimension ≈ 2 and diameter Θ(√n) — exactly the regime where the paper's
+//! decomposition beats Θ(Δ)-round algorithms. A random spanning tree of a
+//! grid plus a random subset of the remaining grid edges reproduces all of
+//! those properties with a tunable edge density.
+
+use crate::union_find::UnionFind;
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a connected road-network-like graph on a `rows × cols` grid.
+///
+/// Construction: take all grid edges, extract a uniformly random spanning
+/// tree (randomized Kruskal), then keep each non-tree grid edge independently
+/// with probability `extra_edge_prob`. The result is always connected, has
+/// `n - 1 + extra` edges, maximum degree 4, and diameter Θ(√n) (larger for
+/// smaller `extra_edge_prob`).
+///
+/// The paper's road networks have `m/n ≈ 1.41`; `extra_edge_prob = 0.4`
+/// matches that density on large grids.
+///
+/// # Panics
+/// Panics if either dimension is zero.
+pub fn road_network(rows: usize, cols: usize, extra_edge_prob: f64, seed: u64) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    assert!(
+        (0.0..=1.0).contains(&extra_edge_prob),
+        "probability out of range"
+    );
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut grid_edges: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity(rows * cols.saturating_sub(1) + cols * rows.saturating_sub(1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                grid_edges.push((u, u + 1));
+            }
+            if r + 1 < rows {
+                grid_edges.push((u, u + cols as NodeId));
+            }
+        }
+    }
+    grid_edges.shuffle(&mut rng);
+
+    let mut uf = UnionFind::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n + (grid_edges.len() * 2) / 5);
+    for &(u, v) in &grid_edges {
+        if uf.union(u, v) {
+            b.add_edge(u, v); // spanning-tree edge: always kept
+        } else if rng.gen::<f64>() < extra_edge_prob {
+            b.add_edge(u, v);
+        }
+    }
+    debug_assert_eq!(uf.num_components(), 1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{components, traversal};
+
+    #[test]
+    fn connected_and_sparse() {
+        let g = road_network(40, 40, 0.4, 17);
+        assert_eq!(g.num_nodes(), 1600);
+        let (count, _) = components::connected_components(&g);
+        assert_eq!(count, 1);
+        let density = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(density > 1.0 && density < 1.9, "density {density}");
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn tree_only_when_prob_zero() {
+        let g = road_network(20, 20, 0.0, 3);
+        assert_eq!(g.num_edges(), g.num_nodes() - 1);
+        let (count, _) = components::connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn full_grid_when_prob_one() {
+        let g = road_network(10, 15, 1.0, 3);
+        assert_eq!(g.num_edges(), 10 * 14 + 15 * 9);
+    }
+
+    #[test]
+    fn long_diameter_regime() {
+        // Sparse road networks must have diameter well above the grid's
+        // (rows + cols - 2): the spanning tree stretches shortest paths.
+        let g = road_network(50, 50, 0.15, 23);
+        let ecc = traversal::eccentricity(&g, 0);
+        assert!(ecc > 98, "eccentricity {ecc} not in the long-diameter regime");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(road_network(15, 15, 0.4, 5), road_network(15, 15, 0.4, 5));
+        assert_ne!(road_network(15, 15, 0.4, 5), road_network(15, 15, 0.4, 6));
+    }
+
+    #[test]
+    fn degenerate_single_row() {
+        let g = road_network(1, 30, 0.5, 1);
+        assert_eq!(g.num_edges(), 29); // a path: every edge is a tree edge
+    }
+}

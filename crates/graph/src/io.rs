@@ -1,0 +1,208 @@
+//! Graph serialization: SNAP-style text edge lists and a compact binary
+//! snapshot format.
+//!
+//! The binary format (`PDEC1`) stores the CSR arrays directly so that large
+//! generated workloads can be cached between experiment runs:
+//!
+//! ```text
+//! magic   b"PDEC1\0"     6 bytes
+//! n       u64 LE
+//! arcs    u64 LE          (= 2m)
+//! offsets (n + 1) × u64 LE
+//! targets arcs × u32 LE
+//! ```
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+use bytes::{Buf, BufMut};
+use std::io::{self, BufRead, Write};
+
+const MAGIC: &[u8; 6] = b"PDEC1\0";
+
+/// Writes `g` as a text edge list: a `# nodes <n> edges <m>` header followed
+/// by one `u<TAB>v` line per undirected edge.
+pub fn write_edge_list(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a text edge list (comment lines start with `#`; separators are any
+/// whitespace). Node count is `max id + 1` unless a `# nodes n …` header
+/// declares a larger one.
+pub fn read_edge_list(r: &mut impl BufRead) -> io::Result<CsrGraph> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut declared_n: usize = 0;
+    let mut max_id: usize = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            // Parse an optional "nodes <n>" declaration.
+            let mut it = rest.split_whitespace();
+            while let Some(tok) = it.next() {
+                if tok == "nodes" {
+                    if let Some(Ok(n)) = it.next().map(str::parse::<usize>) {
+                        declared_n = declared_n.max(n);
+                    }
+                }
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (
+                a.parse::<NodeId>()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                b.parse::<NodeId>()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            ),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge line: {t:?}"),
+                ))
+            }
+        };
+        max_id = max_id.max(u as usize).max(v as usize);
+        edges.push((u, v));
+    }
+    let n = declared_n.max(if edges.is_empty() { 0 } else { max_id + 1 });
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serializes `g` into the `PDEC1` binary snapshot format.
+pub fn save_binary(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
+    let offsets = g.raw_offsets();
+    let targets = g.raw_targets();
+    let mut buf =
+        Vec::with_capacity(MAGIC.len() + 16 + offsets.len() * 8 + targets.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(targets.len() as u64);
+    for &o in offsets {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in targets {
+        buf.put_u32_le(t);
+    }
+    w.write_all(&buf)
+}
+
+/// Deserializes a `PDEC1` snapshot.
+pub fn load_binary(bytes: &[u8]) -> io::Result<CsrGraph> {
+    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut buf = bytes;
+    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    buf.advance(MAGIC.len());
+    if buf.remaining() < 16 {
+        return Err(err("truncated header"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let arcs = buf.get_u64_le() as usize;
+    if buf.remaining() != (n + 1) * 8 + arcs * 4 {
+        return Err(err("length mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    let mut b = GraphBuilder::with_capacity(n, arcs / 2);
+    // Re-run through the builder so corrupt payloads cannot violate CSR
+    // invariants.
+    let mut targets = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        targets.push(buf.get_u32_le());
+    }
+    if *offsets.last().unwrap_or(&0) != arcs {
+        return Err(err("inconsistent offsets"));
+    }
+    for u in 0..n {
+        for &v in targets
+            .get(offsets[u]..offsets[u + 1])
+            .ok_or_else(|| err("offset out of bounds"))?
+        {
+            if (v as usize) >= n {
+                return Err(err("target out of range"));
+            }
+            if (u as NodeId) < v {
+                b.add_edge(u as NodeId, v);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::io::BufReader;
+
+    #[test]
+    fn text_round_trip() {
+        let g = generators::gnm(40, 100, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_header_declares_isolated_tail_nodes() {
+        let text = "# nodes 5\n0 1\n";
+        let g = read_edge_list(&mut BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let text = "0 x\n";
+        assert!(read_edge_list(&mut BufReader::new(text.as_bytes())).is_err());
+        let text = "42\n";
+        assert!(read_edge_list(&mut BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = generators::mesh(13, 7);
+        let mut buf = Vec::new();
+        save_binary(&g, &mut buf).unwrap();
+        let g2 = load_binary(&buf).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = generators::path(5);
+        let mut buf = Vec::new();
+        save_binary(&g, &mut buf).unwrap();
+        assert!(load_binary(&buf[..buf.len() - 1]).is_err()); // truncated
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(load_binary(&bad).is_err()); // bad magic
+    }
+
+    #[test]
+    fn binary_empty_graph() {
+        let g = CsrGraph::empty(3);
+        let mut buf = Vec::new();
+        save_binary(&g, &mut buf).unwrap();
+        assert_eq!(load_binary(&buf).unwrap(), g);
+    }
+}

@@ -1,0 +1,170 @@
+//! Quotient graphs of a clustering (§4 of the paper).
+//!
+//! Given a node→cluster assignment, the *quotient graph* `G_C` has one node
+//! per cluster and an edge between two clusters whenever some edge of `G`
+//! crosses them. The *weighted* quotient assigns to each such edge the
+//! length of the shortest path of `G` that connects the two cluster centers
+//! and stays inside the two clusters: since every node knows its BFS-tree
+//! distance to its own center, this is
+//! `min over cut edges (x, y) of dist(x) + 1 + dist(y)`.
+
+use crate::{CsrGraph, GraphBuilder, NodeId, WeightedGraph};
+use std::collections::HashMap;
+
+/// Builds the unweighted quotient graph of `g` under `labels`.
+///
+/// `labels[v]` must be in `0..num_clusters` for every node.
+///
+/// # Panics
+/// Panics if `labels.len() != g.num_nodes()` or a label is out of range.
+pub fn quotient(g: &CsrGraph, labels: &[NodeId], num_clusters: usize) -> CsrGraph {
+    assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
+    let mut b = GraphBuilder::new(num_clusters);
+    for (u, v) in g.edges() {
+        let (cu, cv) = (labels[u as usize], labels[v as usize]);
+        assert!(
+            (cu as usize) < num_clusters && (cv as usize) < num_clusters,
+            "cluster label out of range"
+        );
+        if cu != cv {
+            b.add_edge(cu, cv);
+        }
+    }
+    b.build()
+}
+
+/// Builds the weighted quotient graph of `g` under `labels`, where
+/// `dist_to_center[v]` is the hop distance from `v` to its cluster's center.
+///
+/// Edge weight between clusters `a` and `b`:
+/// `min over cut edges (x, y), x ∈ a, y ∈ b of dist(x) + 1 + dist(y)` —
+/// the §4 connecting-path length restricted to the two clusters (BFS-tree
+/// paths to the centers stay within their cluster by construction of
+/// disjoint growth).
+pub fn weighted_quotient(
+    g: &CsrGraph,
+    labels: &[NodeId],
+    dist_to_center: &[u32],
+    num_clusters: usize,
+) -> WeightedGraph {
+    assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
+    assert_eq!(dist_to_center.len(), g.num_nodes(), "distance array size mismatch");
+    let mut best: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+    for (u, v) in g.edges() {
+        let (cu, cv) = (labels[u as usize], labels[v as usize]);
+        assert!(
+            (cu as usize) < num_clusters && (cv as usize) < num_clusters,
+            "cluster label out of range"
+        );
+        if cu == cv {
+            continue;
+        }
+        let key = (cu.min(cv), cu.max(cv));
+        let w = dist_to_center[u as usize] as u64 + 1 + dist_to_center[v as usize] as u64;
+        best.entry(key)
+            .and_modify(|cur| *cur = (*cur).min(w))
+            .or_insert(w);
+    }
+    let edges: Vec<(NodeId, NodeId, u64)> =
+        best.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    WeightedGraph::from_edges(num_clusters, &edges)
+}
+
+/// Number of edges of `g` crossing between distinct clusters (each counted
+/// once). This is the paper's `m_C` *before* multi-edge collapsing; the
+/// quotient's own `num_edges` gives the collapsed count.
+pub fn cut_size(g: &CsrGraph, labels: &[NodeId]) -> usize {
+    g.edges()
+        .filter(|&(u, v)| labels[u as usize] != labels[v as usize])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Path 0-1-2-3-4-5 split into clusters {0,1}, {2,3}, {4,5}.
+    fn path_setup() -> (CsrGraph, Vec<NodeId>, Vec<u32>) {
+        let g = generators::path(6);
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        // Centers at 0, 2, 4 -> distances to own center:
+        let dist = vec![0, 1, 0, 1, 0, 1];
+        (g, labels, dist)
+    }
+
+    #[test]
+    fn quotient_of_path() {
+        let (g, labels, _) = path_setup();
+        let q = quotient(&g, &labels, 3);
+        assert_eq!(q.num_nodes(), 3);
+        assert_eq!(q.num_edges(), 2);
+        assert!(q.has_edge(0, 1));
+        assert!(q.has_edge(1, 2));
+        assert!(!q.has_edge(0, 2));
+    }
+
+    #[test]
+    fn quotient_collapses_parallel_cut_edges() {
+        // Two clusters joined by two distinct cut edges -> one quotient edge.
+        let g = crate::GraphBuilder::new(4)
+            .add_edges([(0, 1), (2, 3), (0, 2), (1, 3)])
+            .build();
+        let labels = vec![0, 0, 1, 1];
+        let q = quotient(&g, &labels, 2);
+        assert_eq!(q.num_edges(), 1);
+        assert_eq!(cut_size(&g, &labels), 2);
+    }
+
+    #[test]
+    fn weighted_quotient_connecting_paths() {
+        let (g, labels, dist) = path_setup();
+        let wq = weighted_quotient(&g, &labels, &dist, 3);
+        // Clusters {0,1} and {2,3}: cut edge (1, 2), weight 1 + 1 + 0 = 2.
+        let w01 = wq.neighbors(0).find(|&(t, _)| t == 1).unwrap().1;
+        assert_eq!(w01, 2);
+        // Clusters {2,3} and {4,5}: cut edge (3, 4), weight 1 + 1 + 0 = 2.
+        let w12 = wq.neighbors(1).find(|&(t, _)| t == 2).unwrap().1;
+        assert_eq!(w12, 2);
+        // Center-to-center distance across the quotient = 4 = actual d(0, 4).
+        assert_eq!(wq.dijkstra(0)[2], 4);
+    }
+
+    #[test]
+    fn weighted_quotient_takes_min_cut_edge() {
+        // Square 0-1, 2-3 clusters with two cut edges of different center
+        // distances.
+        let g = crate::GraphBuilder::new(4)
+            .add_edges([(0, 1), (2, 3), (0, 2), (1, 3)])
+            .build();
+        let labels = vec![0, 0, 1, 1];
+        // centers 0 and 2: dist = [0, 1, 0, 1]
+        let dist = vec![0, 1, 0, 1];
+        let wq = weighted_quotient(&g, &labels, &dist, 2);
+        // Cut edges: (0,2) -> 0+1+0 = 1; (1,3) -> 1+1+1 = 3. Min = 1.
+        let w = wq.neighbors(0).next().unwrap().1;
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn singleton_clusters_reproduce_graph() {
+        let g = generators::cycle(7);
+        let labels: Vec<NodeId> = (0..7).collect();
+        let q = quotient(&g, &labels, 7);
+        assert_eq!(q, g);
+        let dist = vec![0; 7];
+        let wq = weighted_quotient(&g, &labels, &dist, 7);
+        assert_eq!(wq.num_edges(), 7);
+        assert_eq!(wq.apsp_diameter(), 3); // all weights 1
+    }
+
+    #[test]
+    fn one_cluster_empty_quotient() {
+        let g = generators::complete(5);
+        let labels = vec![0; 5];
+        let q = quotient(&g, &labels, 1);
+        assert_eq!(q.num_nodes(), 1);
+        assert_eq!(q.num_edges(), 0);
+        assert_eq!(cut_size(&g, &labels), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Baswana–Sen `(2k-1)`-spanners — the sparsification step of the paper's
+//! Theorem 4.
+//!
+//! When the quotient graph has more edges than a single reducer's `M_L`,
+//! the paper invokes "the sparsification technique presented in \[4\]"
+//! (Baswana & Sen, *Random Structures & Algorithms* 2007) to shrink it to a
+//! spanner whose diameter is only a constant factor larger. This module
+//! implements the randomized clustering-based construction for unweighted
+//! graphs: `k - 1` rounds of cluster sampling at rate `n^{-1/k}` followed by
+//! a cluster-joining phase, yielding a subgraph with expected
+//! `O(k·n^{1+1/k})` edges in which every distance stretches by at most
+//! `2k - 1`.
+
+use crate::{CsrGraph, GraphBuilder, NodeId, INVALID_NODE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of [`baswana_sen`]: the spanner and its guarantee.
+#[derive(Clone, Debug)]
+pub struct Spanner {
+    /// The spanner subgraph (same node set as the input).
+    pub graph: CsrGraph,
+    /// Stretch bound `2k - 1`.
+    pub stretch: u32,
+}
+
+/// Computes a `(2k - 1)`-spanner of an unweighted graph.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
+    assert!(k >= 1, "spanner parameter k must be positive");
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spanner: Vec<(NodeId, NodeId)> = Vec::new();
+    if n == 0 || k == 1 {
+        // A 1-spanner is the graph itself.
+        return Spanner {
+            graph: g.clone(),
+            stretch: 1,
+        };
+    }
+    let sample_prob = (n as f64).powf(-1.0 / k as f64);
+
+    // cluster[v] = center of v's current cluster, INVALID if v has retired.
+    let mut cluster: Vec<NodeId> = (0..n as NodeId).collect();
+    // Vertices still participating.
+    let mut alive: Vec<bool> = vec![true; n];
+
+    for _phase in 1..k {
+        // Sample current cluster centers.
+        let mut sampled = vec![false; n];
+        for v in 0..n {
+            if alive[v] && cluster[v] == v as NodeId {
+                sampled[v] = rng.gen::<f64>() < sample_prob;
+            }
+        }
+        let mut next_cluster = cluster.clone();
+        for v in 0..n as NodeId {
+            let vi = v as usize;
+            if !alive[vi] {
+                continue;
+            }
+            if sampled[cluster[vi] as usize] {
+                continue; // stays in its (sampled) cluster
+            }
+            // Baswana–Sen needs distinct, consistently ordered edge
+            // weights; for the unweighted case we perturb lexicographically
+            // by neighbour id. Find, per neighbouring cluster, the lightest
+            // incident edge, and the overall lightest edge into a *sampled*
+            // cluster.
+            let mut lightest_per_cluster: Vec<(NodeId, NodeId)> = Vec::new(); // (cluster, via)
+            let mut lightest_sampled: Option<NodeId> = None; // via-neighbour
+            for &u in g.neighbors(v) {
+                if !alive[u as usize] {
+                    continue;
+                }
+                let cu = cluster[u as usize];
+                if cu == cluster[vi] {
+                    continue;
+                }
+                match lightest_per_cluster.iter_mut().find(|(c, _)| *c == cu) {
+                    Some((_, via)) => {
+                        if u < *via {
+                            *via = u;
+                        }
+                    }
+                    None => lightest_per_cluster.push((cu, u)),
+                }
+                if sampled[cu as usize] && lightest_sampled.is_none_or(|best| u < best) {
+                    lightest_sampled = Some(u);
+                }
+            }
+            match lightest_sampled {
+                Some(e_s) => {
+                    // Join the sampled cluster through its lightest edge and
+                    // keep, for every other cluster, its lightest edge only
+                    // if strictly lighter than e_s (the BS pruning rule).
+                    spanner.push((v, e_s));
+                    next_cluster[vi] = cluster[e_s as usize];
+                    for &(c, via) in &lightest_per_cluster {
+                        if c != cluster[e_s as usize] && via < e_s {
+                            spanner.push((v, via));
+                        }
+                    }
+                }
+                None => {
+                    // No sampled neighbour: keep one (lightest) edge per
+                    // neighbouring cluster and retire.
+                    for &(_, via) in &lightest_per_cluster {
+                        spanner.push((v, via));
+                    }
+                    next_cluster[vi] = INVALID_NODE;
+                    alive[vi] = false;
+                }
+            }
+        }
+        cluster = next_cluster;
+        // Intra-cluster edges of newly joined vertices are implicit: the
+        // joining edge added above is the cluster-tree edge.
+    }
+
+    // Phase 2: every surviving vertex keeps one edge to each neighbouring
+    // cluster.
+    for v in 0..n as NodeId {
+        let vi = v as usize;
+        if !alive[vi] {
+            continue;
+        }
+        let mut kept: Vec<NodeId> = Vec::new();
+        for &w in g.neighbors(v) {
+            if !alive[w as usize] {
+                continue;
+            }
+            let cw = cluster[w as usize];
+            if cw == cluster[vi] {
+                continue;
+            }
+            if !kept.contains(&cw) {
+                kept.push(cw);
+                spanner.push((v, w));
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, spanner.len());
+    for (u, v) in spanner {
+        b.add_edge(u, v);
+    }
+    Spanner {
+        graph: b.build(),
+        stretch: (2 * k - 1) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs;
+    use crate::{components, generators};
+
+    /// Spot-checks the stretch guarantee from a few sources.
+    fn assert_stretch(g: &CsrGraph, s: &Spanner, sources: &[NodeId]) {
+        for &src in sources {
+            let orig = bfs(g, src).dist;
+            let span = bfs(&s.graph, src).dist;
+            for v in 0..g.num_nodes() {
+                if orig[v] == crate::INFINITE_DIST {
+                    assert_eq!(span[v], crate::INFINITE_DIST);
+                    continue;
+                }
+                assert!(
+                    span[v] != crate::INFINITE_DIST,
+                    "spanner disconnected {src} from {v}"
+                );
+                assert!(
+                    span[v] <= s.stretch * orig[v].max(1),
+                    "stretch violated at ({src}, {v}): {} > {} * {}",
+                    span[v],
+                    s.stretch,
+                    orig[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_returns_graph() {
+        let g = generators::gnm(50, 100, 1);
+        let s = baswana_sen(&g, 1, 0);
+        assert_eq!(s.graph, g);
+        assert_eq!(s.stretch, 1);
+    }
+
+    #[test]
+    fn three_spanner_on_dense_random() {
+        let g = generators::gnm(200, 2000, 3);
+        let (lc, _) = components::largest_component(&g);
+        let s = baswana_sen(&lc, 2, 7);
+        assert!(s.graph.num_edges() <= lc.num_edges());
+        assert_stretch(&lc, &s, &[0, 7, 100]);
+    }
+
+    #[test]
+    fn five_spanner_sparsifies_more() {
+        let g = generators::gnm(300, 6000, 5);
+        let (lc, _) = components::largest_component(&g);
+        let s2 = baswana_sen(&lc, 2, 11);
+        let s3 = baswana_sen(&lc, 3, 11);
+        assert_stretch(&lc, &s3, &[0, 50]);
+        // Larger k: sparser (in expectation; fixed seeds keep this stable).
+        assert!(
+            s3.graph.num_edges() <= s2.graph.num_edges(),
+            "k=3 ({}) should not exceed k=2 ({})",
+            s3.graph.num_edges(),
+            s2.graph.num_edges()
+        );
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity_components() {
+        let g = generators::disjoint_union(
+            &generators::gnm(100, 600, 2),
+            &generators::mesh(8, 8),
+        );
+        let s = baswana_sen(&g, 2, 3);
+        let (orig_cc, orig_labels) = components::connected_components(&g);
+        let (span_cc, span_labels) = components::connected_components(&s.graph);
+        assert_eq!(orig_cc, span_cc);
+        // Same partition into components.
+        for u in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                assert_eq!(
+                    orig_labels[u] == orig_labels[v],
+                    span_labels[u] == span_labels[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_graph_shrinks_substantially() {
+        // A clique-ish graph must lose most edges under a 3-spanner.
+        let g = generators::complete(64);
+        let s = baswana_sen(&g, 2, 9);
+        assert!(
+            s.graph.num_edges() * 2 < g.num_edges(),
+            "spanner kept {} of {} edges",
+            s.graph.num_edges(),
+            g.num_edges()
+        );
+        assert_stretch(&g, &s, &[0, 31]);
+    }
+
+    #[test]
+    fn sparse_graph_roughly_preserved() {
+        let g = generators::mesh(10, 10);
+        let s = baswana_sen(&g, 2, 4);
+        assert_stretch(&g, &s, &[0, 55, 99]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Basic graph statistics (Table 1 characterization and diagnostics).
+
+use crate::CsrGraph;
+
+/// Degree distribution summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub avg: f64,
+    pub median: usize,
+    /// 99th percentile degree (nearest-rank).
+    pub p99: usize,
+}
+
+/// Computes degree statistics; all-zero for the empty graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_nodes();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            avg: 0.0,
+            median: 0,
+            p99: 0,
+        };
+    }
+    let mut degrees: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    let total: usize = degrees.iter().sum();
+    let rank = |q: f64| degrees[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1];
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        avg: total as f64 / n as f64,
+        median: rank(0.5),
+        p99: rank(0.99),
+    }
+}
+
+/// One-line characterization of a dataset (the paper's Table 1 row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    pub nodes: usize,
+    pub edges: usize,
+    pub avg_degree: f64,
+    pub max_degree: usize,
+}
+
+/// Computes the summary row (diameter is computed separately — it is
+/// expensive and the experiments treat it as ground truth input).
+pub fn summarize(g: &CsrGraph) -> GraphSummary {
+    GraphSummary {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        avg_degree: if g.num_nodes() == 0 {
+            0.0
+        } else {
+            g.num_arcs() as f64 / g.num_nodes() as f64
+        },
+        max_degree: g.max_degree(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_on_star() {
+        let s = degree_stats(&generators::star(11));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.median, 1);
+        assert!((s.avg - 20.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_on_regular() {
+        let s = degree_stats(&generators::cycle(8));
+        assert_eq!((s.min, s.max, s.median, s.p99), (2, 2, 2, 2));
+        assert!((s.avg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = degree_stats(&CsrGraph::empty(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.avg, 0.0);
+    }
+
+    #[test]
+    fn summary_row() {
+        let g = generators::mesh(5, 5);
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 25);
+        assert_eq!(s.edges, 40);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.avg_degree - 80.0 / 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,368 @@
+//! Breadth-first traversals: sequential, level-synchronous parallel, and
+//! multi-source with per-source ownership.
+//!
+//! The multi-source variant is the primitive behind disjoint cluster growth
+//! (§3 of the paper): every source claims the nodes it reaches first, ties
+//! broken deterministically by smaller owner id in the sequential routine and
+//! by atomic first-writer-wins in the parallel one (the paper allows
+//! arbitrary tie-breaking).
+
+use crate::{CsrGraph, NodeId, INFINITE_DIST, INVALID_NODE};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of a (single- or multi-source) BFS.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// `dist[v]` = hop distance from the nearest source, [`INFINITE_DIST`] if unreachable.
+    pub dist: Vec<u32>,
+    /// Number of reached nodes (including the sources).
+    pub visited: usize,
+    /// Number of BFS levels expanded (max finite distance).
+    pub levels: u32,
+}
+
+impl BfsResult {
+    /// Eccentricity of the source set: the maximum finite distance.
+    pub fn eccentricity(&self) -> u32 {
+        self.levels
+    }
+
+    /// The farthest reached node (largest finite distance, smallest id on ties).
+    pub fn farthest(&self) -> Option<NodeId> {
+        let mut best: Option<(u32, NodeId)> = None;
+        for (v, &d) in self.dist.iter().enumerate() {
+            if d != INFINITE_DIST {
+                match best {
+                    Some((bd, _)) if bd >= d => {}
+                    _ => best = Some((d, v as NodeId)),
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+}
+
+/// Sequential BFS from a single source.
+pub fn bfs(g: &CsrGraph, src: NodeId) -> BfsResult {
+    bfs_multi(g, std::slice::from_ref(&src)).0
+}
+
+/// Sequential BFS that also records parent pointers (for path extraction,
+/// e.g. the double-sweep midpoint used by iFUB).
+pub fn bfs_with_parents(g: &CsrGraph, src: NodeId) -> (BfsResult, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITE_DIST; n];
+    let mut parent = vec![INVALID_NODE; n];
+    let mut frontier = vec![src];
+    dist[src as usize] = 0;
+    let mut visited = 1usize;
+    let mut level = 0u32;
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == INFINITE_DIST {
+                    dist[v as usize] = level + 1;
+                    parent[v as usize] = u;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level += 1;
+        visited += next.len();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    (
+        BfsResult {
+            dist,
+            visited,
+            levels: level,
+        },
+        parent,
+    )
+}
+
+/// Sequential multi-source BFS with ownership: every node reached is claimed
+/// by the source whose wave arrives first (smaller source index on ties).
+///
+/// Returns the BFS result together with `owner[v]` = index into `sources` of
+/// the claiming source ([`INVALID_NODE`] if unreachable).
+pub fn bfs_multi(g: &CsrGraph, sources: &[NodeId]) -> (BfsResult, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITE_DIST; n];
+    let mut owner = vec![INVALID_NODE; n];
+    let mut frontier: Vec<NodeId> = Vec::with_capacity(sources.len());
+    for (i, &s) in sources.iter().enumerate() {
+        // A node listed twice keeps its first owner.
+        if dist[s as usize] == INFINITE_DIST {
+            dist[s as usize] = 0;
+            owner[s as usize] = i as NodeId;
+            frontier.push(s);
+        }
+    }
+    let mut visited = frontier.len();
+    let mut level = 0u32;
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in &frontier {
+            let o = owner[u as usize];
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == INFINITE_DIST {
+                    dist[v as usize] = level + 1;
+                    owner[v as usize] = o;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level += 1;
+        visited += next.len();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    (
+        BfsResult {
+            dist,
+            visited,
+            levels: level,
+        },
+        owner,
+    )
+}
+
+/// Level-synchronous parallel BFS from a single source.
+///
+/// Each level expands the whole frontier in parallel; a node is claimed with
+/// a compare-and-swap on its distance slot, so every node is pushed to the
+/// next frontier exactly once. Distances are identical to sequential BFS.
+pub fn bfs_parallel(g: &CsrGraph, src: NodeId) -> BfsResult {
+    let n = g.num_nodes();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INFINITE_DIST)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    let mut visited = 1usize;
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        let next_level = level + 1;
+        let next: Vec<NodeId> = frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &u| {
+                for &v in g.neighbors(u) {
+                    if dist[v as usize]
+                        .compare_exchange(
+                            INFINITE_DIST,
+                            next_level,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        acc.push(v);
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        if next.is_empty() {
+            break;
+        }
+        level = next_level;
+        visited += next.len();
+        frontier = next;
+    }
+    let dist: Vec<u32> = dist.into_iter().map(AtomicU32::into_inner).collect();
+    BfsResult {
+        dist,
+        visited,
+        levels: level,
+    }
+}
+
+/// Eccentricity of `u`: the maximum BFS distance to any reachable node.
+pub fn eccentricity(g: &CsrGraph, u: NodeId) -> u32 {
+    bfs(g, u).levels
+}
+
+/// Direction-optimizing parallel BFS (Beamer et al.): switches from
+/// top-down frontier expansion to bottom-up "pull" sweeps when the frontier
+/// covers a large fraction of the remaining edges — the standard HPC
+/// optimization for low-diameter graphs, where the middle levels touch most
+/// of the graph. Produces distances identical to [`bfs`].
+pub fn bfs_direction_optimizing(g: &CsrGraph, src: NodeId) -> BfsResult {
+    let n = g.num_nodes();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INFINITE_DIST)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    let mut visited = 1usize;
+    let mut level = 0u32;
+    // Heuristic switch: go bottom-up while the frontier's out-degree exceeds
+    // 1/alpha of the unexplored edges.
+    const ALPHA: usize = 14;
+    while !frontier.is_empty() {
+        let next_level = level + 1;
+        let frontier_degree: usize = frontier.iter().map(|&u| g.degree(u)).sum();
+        let unexplored = g.num_arcs().saturating_sub(2 * visited);
+        let bottom_up = frontier_degree * ALPHA > unexplored.max(1);
+        let next: Vec<NodeId> = if bottom_up {
+            // Pull: every unvisited vertex scans its neighbours for a parent
+            // in the current frontier (dist == level).
+            (0..n as NodeId)
+                .into_par_iter()
+                .filter(|&v| {
+                    dist[v as usize].load(Ordering::Relaxed) == INFINITE_DIST
+                        && g.neighbors(v)
+                            .iter()
+                            .any(|&u| dist[u as usize].load(Ordering::Relaxed) == level)
+                })
+                .map(|v| {
+                    dist[v as usize].store(next_level, Ordering::Relaxed);
+                    v
+                })
+                .collect()
+        } else {
+            frontier
+                .par_iter()
+                .fold(Vec::new, |mut acc, &u| {
+                    for &v in g.neighbors(u) {
+                        if dist[v as usize]
+                            .compare_exchange(
+                                INFINITE_DIST,
+                                next_level,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            acc.push(v);
+                        }
+                    }
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
+        };
+        if next.is_empty() {
+            break;
+        }
+        level = next_level;
+        visited += next.len();
+        frontier = next;
+    }
+    let dist: Vec<u32> = dist.into_iter().map(AtomicU32::into_inner).collect();
+    BfsResult {
+        dist,
+        visited,
+        levels: level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        let r = bfs(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.visited, 5);
+        assert_eq!(r.levels, 4);
+        assert_eq!(r.farthest(), Some(4));
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = crate::GraphBuilder::new(4).add_edges([(0, 1)]).build();
+        let r = bfs(&g, 0);
+        assert_eq!(r.dist[2], INFINITE_DIST);
+        assert_eq!(r.visited, 2);
+    }
+
+    #[test]
+    fn bfs_parallel_matches_sequential() {
+        let g = generators::mesh(17, 23);
+        let seq = bfs(&g, 5);
+        let par = bfs_parallel(&g, 5);
+        assert_eq!(seq.dist, par.dist);
+        assert_eq!(seq.visited, par.visited);
+        assert_eq!(seq.levels, par.levels);
+    }
+
+    #[test]
+    fn multi_source_ownership_tie_break() {
+        // path 0-1-2-3-4, sources at both ends: node 2 is equidistant and
+        // must go to the first-listed source.
+        let g = generators::path(5);
+        let (r, owner) = bfs_multi(&g, &[0, 4]);
+        assert_eq!(r.dist, vec![0, 1, 2, 1, 0]);
+        assert_eq!(owner, vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn multi_source_duplicate_source() {
+        let g = generators::path(3);
+        let (r, owner) = bfs_multi(&g, &[1, 1]);
+        assert_eq!(r.dist, vec![1, 0, 1]);
+        assert_eq!(owner, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn parents_trace_shortest_path() {
+        let g = generators::mesh(4, 4);
+        let (r, parent) = bfs_with_parents(&g, 0);
+        // Walk back from the far corner; path length must equal the distance.
+        let mut v = 15u32;
+        let mut hops = 0;
+        while v != 0 {
+            v = parent[v as usize];
+            hops += 1;
+            assert!(hops <= 100, "cycle in parent pointers");
+        }
+        assert_eq!(hops, r.dist[15]);
+    }
+
+    #[test]
+    fn direction_optimizing_matches_plain_bfs() {
+        for (name, g) in [
+            ("mesh", generators::mesh(13, 19)),
+            ("social", generators::preferential_attachment(2000, 6, 3)),
+            ("star", generators::star(100)),
+            ("path", generators::path(60)),
+        ] {
+            let a = bfs(&g, 0);
+            let b = bfs_direction_optimizing(&g, 0);
+            assert_eq!(a.dist, b.dist, "{name}");
+            assert_eq!(a.visited, b.visited, "{name}");
+        }
+    }
+
+    #[test]
+    fn direction_optimizing_disconnected() {
+        let g = crate::GraphBuilder::new(5).add_edges([(0, 1), (2, 3)]).build();
+        let r = bfs_direction_optimizing(&g, 0);
+        assert_eq!(r.dist[1], 1);
+        assert_eq!(r.dist[2], INFINITE_DIST);
+        assert_eq!(r.visited, 2);
+    }
+
+    #[test]
+    fn eccentricity_of_cycle() {
+        let g = generators::cycle(10);
+        assert_eq!(eccentricity(&g, 0), 5);
+        let g = generators::cycle(11);
+        assert_eq!(eccentricity(&g, 3), 5);
+    }
+}

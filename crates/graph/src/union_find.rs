@@ -1,0 +1,108 @@
+//! Disjoint-set forest with union by size and path halving.
+//!
+//! Used by the road-network generator (random spanning tree via randomized
+//! Kruskal) and by the connected-components fallback.
+
+/// Disjoint-set (union–find) structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    /// Parent pointer per element; roots point to themselves.
+    parent: Vec<u32>,
+    /// Component size, valid at roots only.
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s component (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the components of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same component.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of components.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the component containing `x`.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_components(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.component_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 2);
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.component_size(0), 4);
+    }
+
+    #[test]
+    fn long_chain_path_halving() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert_eq!(uf.component_size(0), n);
+        assert!(uf.connected(0, n as u32 - 1));
+    }
+}

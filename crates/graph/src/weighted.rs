@@ -1,0 +1,236 @@
+//! A compact weighted undirected graph plus Dijkstra / weighted APSP.
+//!
+//! Weighted graphs appear in one place in the paper (§4): the *weighted
+//! quotient graph*, whose edge weights are shortest connecting-path lengths
+//! between adjacent clusters. Its diameter `Δ′_C` yields the tightened upper
+//! bound `Δ″ = 2·R_ALG2 + Δ′_C`, and its APSP matrix is the distance oracle.
+
+use crate::{NodeId, INVALID_NODE};
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel for "unreachable" in weighted distance arrays.
+pub const INFINITE_WEIGHT: u64 = u64::MAX;
+
+/// Undirected graph with `u64` edge weights in CSR form. Parallel edges are
+/// collapsed to their minimum weight at construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    weights: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Builds from an edge triple list `(u, v, w)`. Self-loops are dropped;
+    /// duplicate edges keep the smallest weight.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId, u64)]) -> Self {
+        let mut arcs: Vec<(NodeId, NodeId, u64)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v, w) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u}, {v}) out of range for n = {n}"
+            );
+            if u != v {
+                arcs.push((u, v, w));
+                arcs.push((v, u, w));
+            }
+        }
+        arcs.sort_unstable();
+        // Keep the minimum-weight copy of each (u, v): after sorting it is
+        // the first of each run.
+        arcs.dedup_by(|next, first| (next.0, next.1) == (first.0, first.1));
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = Vec::with_capacity(arcs.len());
+        let mut weights = Vec::with_capacity(arcs.len());
+        for (_, v, w) in arcs {
+            targets.push(v);
+            weights.push(w);
+        }
+        WeightedGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbours of `u` with weights.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        let u = u as usize;
+        let range = self.offsets[u]..self.offsets[u + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Single-source shortest paths (Dijkstra, binary heap).
+    pub fn dijkstra(&self, src: NodeId) -> Vec<u64> {
+        let n = self.num_nodes();
+        let mut dist = vec![INFINITE_WEIGHT; n];
+        let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        dist[src as usize] = 0;
+        heap.push(Reverse((0, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue; // stale entry
+            }
+            for (v, w) in self.neighbors(u) {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Weighted eccentricity of `u` (max finite Dijkstra distance).
+    pub fn eccentricity(&self, u: NodeId) -> u64 {
+        self.dijkstra(u)
+            .into_iter()
+            .filter(|&d| d != INFINITE_WEIGHT)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Weighted diameter via all-sources Dijkstra, parallelized. Returns the
+    /// largest finite eccentricity (i.e. per-component diameters are maxed).
+    pub fn apsp_diameter(&self) -> u64 {
+        if self.num_nodes() == 0 {
+            return 0;
+        }
+        (0..self.num_nodes() as NodeId)
+            .into_par_iter()
+            .map(|u| self.eccentricity(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Full APSP matrix (row per source). Quadratic space — intended for
+    /// quotient graphs, which the paper keeps small enough for one machine.
+    pub fn apsp_matrix(&self) -> Vec<Vec<u64>> {
+        (0..self.num_nodes() as NodeId)
+            .into_par_iter()
+            .map(|u| self.dijkstra(u))
+            .collect()
+    }
+
+    /// Nearest node of `set` to `u`, by weighted distance. Returns
+    /// `(node, dist)` or `None` if `set` is empty / unreachable.
+    pub fn nearest_of(&self, u: NodeId, set: &[NodeId]) -> Option<(NodeId, u64)> {
+        let dist = self.dijkstra(u);
+        set.iter()
+            .copied()
+            .filter(|&s| dist[s as usize] != INFINITE_WEIGHT)
+            .map(|s| (s, dist[s as usize]))
+            .min_by_key(|&(s, d)| (d, s))
+    }
+
+    /// Structural invariant check (mirrors [`crate::CsrGraph::check_invariants`]).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        for u in 0..n as NodeId {
+            for (v, w) in self.neighbors(u) {
+                if v as usize >= n {
+                    return Err(format!("target {v} out of range"));
+                }
+                if v == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                let Some(back) = self
+                    .neighbors(v)
+                    .find(|&(t, _)| t == u)
+                else {
+                    return Err(format!("missing reverse arc ({v}, {u})"));
+                };
+                if back.1 != w {
+                    return Err(format!("asymmetric weight on ({u}, {v})"));
+                }
+            }
+        }
+        let _ = INVALID_NODE; // silence unused import on some cfgs
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> WeightedGraph {
+        // 0 -1- 1 -1- 3, and a heavy shortcut 0 -5- 3, plus 0 -1- 2 -1- 3
+        WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 1), (1, 3, 1), (0, 3, 5), (0, 2, 1), (2, 3, 1)],
+        )
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_paths() {
+        let g = diamond();
+        let d = g.dijkstra(0);
+        assert_eq!(d, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_min_weight() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 9), (1, 0, 2), (0, 1, 4)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.dijkstra(0)[1], 2);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1)]);
+        assert_eq!(g.dijkstra(0)[2], INFINITE_WEIGHT);
+        assert_eq!(g.eccentricity(0), 1);
+    }
+
+    #[test]
+    fn apsp_diameter_weighted_path() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 2), (1, 2, 3), (2, 3, 4)]);
+        assert_eq!(g.apsp_diameter(), 9);
+        let m = g.apsp_matrix();
+        assert_eq!(m[0][3], 9);
+        assert_eq!(m[3][0], 9);
+        assert_eq!(m[1][2], 3);
+    }
+
+    #[test]
+    fn nearest_of_set() {
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+        assert_eq!(g.nearest_of(0, &[3, 4]), Some((3, 3)));
+        assert_eq!(g.nearest_of(0, &[]), None);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        assert!(diamond().check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Reference vertex-program algorithms used to validate the layer and as
+//! baselines in the experiments: MR-BFS and MR connected components.
+
+use crate::stats::MrStats;
+use crate::vertex::{Min, VertexEngine};
+use pardec_graph::{CsrGraph, NodeId, INFINITE_DIST};
+
+/// Outcome of an MR vertex-program run.
+#[derive(Clone, Debug)]
+pub struct MrRun<T> {
+    /// Per-vertex result.
+    pub values: Vec<T>,
+    /// Supersteps executed (the paper's round count, up to a constant).
+    pub supersteps: usize,
+    /// Metrics ledger of the run.
+    pub stats: MrStats,
+}
+
+/// Level-synchronous BFS as a vertex program: `Θ(ecc(src))` supersteps,
+/// *aggregate* message volume `Θ(m)` — the cost profile Table 4 attributes
+/// to the Spark BFS baseline.
+pub fn mr_bfs(g: &CsrGraph, src: NodeId) -> MrRun<u32> {
+    let mut eng: VertexEngine<u32, Min<u32>> = VertexEngine::new(g, |_| INFINITE_DIST);
+    eng.state[src as usize] = 0;
+    eng.post(src, Min(1));
+    let supersteps = eng.run_to_quiescence(g.num_nodes() + 1, |_, s, m| {
+        if m.0 < *s {
+            *s = m.0;
+            Some(Min(m.0 + 1))
+        } else {
+            None
+        }
+    });
+    let (values, stats) = eng.finish();
+    MrRun {
+        values,
+        supersteps,
+        stats,
+    }
+}
+
+/// Connected components by min-label propagation: every vertex starts with
+/// its own id and adopts the smallest label it hears. `O(Δ)` supersteps.
+pub fn mr_connected_components(g: &CsrGraph) -> MrRun<u32> {
+    let mut eng: VertexEngine<u32, Min<u32>> = VertexEngine::new(g, |v| v);
+    for v in 0..g.num_nodes() as NodeId {
+        eng.post(v, Min(v));
+    }
+    let supersteps = eng.run_to_quiescence(g.num_nodes() + 1, |_, s, m| {
+        if m.0 < *s {
+            *s = m.0;
+            Some(Min(m.0))
+        } else {
+            None
+        }
+    });
+    let (values, stats) = eng.finish();
+    MrRun {
+        values,
+        supersteps,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardec_graph::{components, generators, traversal};
+
+    #[test]
+    fn mr_bfs_matches_sequential() {
+        for (name, g) in [
+            ("mesh", generators::mesh(9, 13)),
+            ("ba", generators::preferential_attachment(300, 3, 5)),
+            ("road", generators::road_network(15, 15, 0.4, 2)),
+        ] {
+            let seq = traversal::bfs(&g, 0);
+            let mr = mr_bfs(&g, 0);
+            assert_eq!(mr.values, seq.dist, "{name}");
+            // Supersteps track eccentricity (one extra quiescence step).
+            assert!(
+                mr.supersteps as u32 >= seq.levels && mr.supersteps as u32 <= seq.levels + 2,
+                "{name}: supersteps {} vs ecc {}",
+                mr.supersteps,
+                seq.levels
+            );
+        }
+    }
+
+    #[test]
+    fn mr_bfs_communication_is_aggregate_linear() {
+        let g = generators::mesh(20, 20);
+        let mr = mr_bfs(&g, 0);
+        let arcs = g.num_arcs() as u64;
+        // Every directed edge carries O(1) messages over the whole run.
+        assert!(
+            mr.stats.total_pairs() <= 3 * arcs,
+            "total {} vs arcs {arcs}",
+            mr.stats.total_pairs()
+        );
+    }
+
+    #[test]
+    fn mr_bfs_disconnected() {
+        let g = generators::disjoint_union(&generators::path(4), &generators::cycle(3));
+        let mr = mr_bfs(&g, 0);
+        assert_eq!(mr.values[..4], [0, 1, 2, 3]);
+        assert!(mr.values[4..].iter().all(|&d| d == INFINITE_DIST));
+    }
+
+    #[test]
+    fn mr_cc_matches_sequential() {
+        let g = generators::disjoint_union(
+            &generators::road_network(10, 10, 0.3, 7),
+            &generators::cycle(17),
+        );
+        let (count, seq_labels) = components::connected_components(&g);
+        let mr = mr_connected_components(&g);
+        // Same partition: labels must agree up to renaming.
+        let mut seen = std::collections::HashMap::new();
+        for (v, (&sl, &ml)) in seq_labels.iter().zip(&mr.values).enumerate() {
+            let prev = seen.insert(sl, ml);
+            if let Some(p) = prev {
+                assert_eq!(p, ml, "inconsistent at {v}");
+            }
+        }
+        assert_eq!(seen.len(), count);
+        // Min-label: component representative is its smallest node id.
+        assert_eq!(mr.values[0], 0);
+    }
+
+    #[test]
+    fn mr_bfs_single_node() {
+        let g = CsrGraph::empty(1);
+        let mr = mr_bfs(&g, 0);
+        assert_eq!(mr.values, vec![0]);
+    }
+}

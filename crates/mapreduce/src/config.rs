@@ -1,0 +1,76 @@
+//! Engine configuration: the model parameters `M_L` (local memory) and the
+//! emulation's parallelism.
+
+/// Configuration for [`crate::engine::MrEngine`] and
+/// [`crate::vertex::VertexEngine`].
+#[derive(Clone, Debug)]
+pub struct MrConfig {
+    /// Number of hash partitions a round's key space is split into; also the
+    /// upper bound on reducer-level parallelism. Defaults to
+    /// `4 × available threads` (over-partitioning smooths skew, as in Spark).
+    pub partitions: usize,
+    /// The model's `M_L`: maximum number of pairs a single reducer group may
+    /// receive. `None` disables the limit (pure accounting mode).
+    pub local_memory: Option<usize>,
+    /// If `true`, exceeding `local_memory` aborts the round with
+    /// [`crate::MrError::LocalMemoryExceeded`]; if `false`, violations are
+    /// only counted in the round stats.
+    pub enforce_local_memory: bool,
+}
+
+impl Default for MrConfig {
+    fn default() -> Self {
+        MrConfig {
+            partitions: 4 * rayon::current_num_threads().max(1),
+            local_memory: None,
+            enforce_local_memory: false,
+        }
+    }
+}
+
+impl MrConfig {
+    /// Accounting-only configuration with an explicit partition count.
+    pub fn with_partitions(partitions: usize) -> Self {
+        MrConfig {
+            partitions: partitions.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Sets a hard `M_L` budget (pairs per reducer group) with enforcement.
+    pub fn with_local_memory(mut self, ml: usize) -> Self {
+        self.local_memory = Some(ml);
+        self.enforce_local_memory = true;
+        self
+    }
+
+    /// Sets an `M_L` budget that is recorded but not enforced.
+    pub fn with_soft_local_memory(mut self, ml: usize) -> Self {
+        self.local_memory = Some(ml);
+        self.enforce_local_memory = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = MrConfig::default();
+        assert!(c.partitions >= 4);
+        assert!(c.local_memory.is_none());
+    }
+
+    #[test]
+    fn builders() {
+        let c = MrConfig::with_partitions(0);
+        assert_eq!(c.partitions, 1); // clamped
+        let c = MrConfig::with_partitions(8).with_local_memory(100);
+        assert_eq!(c.local_memory, Some(100));
+        assert!(c.enforce_local_memory);
+        let c = MrConfig::with_partitions(8).with_soft_local_memory(100);
+        assert!(!c.enforce_local_memory);
+    }
+}

@@ -1,0 +1,264 @@
+//! The generic round executor: hash-partitioned group-by-key with parallel
+//! reducers and full metrics accounting.
+
+use crate::config::MrConfig;
+use crate::error::MrError;
+use crate::stats::{MrStats, RoundStats};
+use rayon::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Deterministic hasher (SipHash with fixed keys) so that partition layout —
+/// and therefore output order — is reproducible across runs.
+type DetState = BuildHasherDefault<DefaultHasher>;
+
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Executes MR rounds and accumulates [`MrStats`].
+///
+/// A *round* takes a multiset of `(K, V)` pairs, groups them by key (hash
+/// partitioning into [`MrConfig::partitions`] buckets processed in
+/// parallel), applies the reducer to every group independently, and returns
+/// the concatenated outputs. Everything entering the round is charged as
+/// shuffled communication; the largest group is charged as the round's local
+/// memory.
+pub struct MrEngine {
+    config: MrConfig,
+    stats: MrStats,
+}
+
+impl MrEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: MrConfig) -> Self {
+        MrEngine {
+            config,
+            stats: MrStats::default(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MrConfig {
+        &self.config
+    }
+
+    /// The accumulated metrics ledger.
+    pub fn stats(&self) -> &MrStats {
+        &self.stats
+    }
+
+    /// Resets the metrics ledger (configuration is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = MrStats::default();
+    }
+
+    /// Executes one labelled round. See [`MrEngine::round`].
+    pub fn round_labelled<K, V, K2, V2, F>(
+        &mut self,
+        input: Vec<(K, V)>,
+        label: &'static str,
+        reducer: F,
+    ) -> Result<Vec<(K2, V2)>, MrError>
+    where
+        K: Hash + Eq + Send,
+        V: Send,
+        K2: Send,
+        V2: Send,
+        F: Fn(&K, Vec<V>) -> Vec<(K2, V2)> + Sync,
+    {
+        let partitions = self.config.partitions;
+        let input_pairs = input.len();
+        let input_bytes = input_pairs * std::mem::size_of::<(K, V)>();
+
+        // Shuffle: route each pair to its key's partition. A sequential pass
+        // keeps per-partition arrival order deterministic.
+        let mut buckets: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+        for (k, v) in input {
+            let p = partition_of(&k, partitions);
+            buckets[p].push((k, v));
+        }
+
+        // Per-partition group-by + reduce, in parallel.
+        struct PartOut<K2, V2> {
+            out: Vec<(K2, V2)>,
+            keys: usize,
+            max_group: usize,
+            violations: usize,
+        }
+        let ml = self.config.local_memory;
+        let results: Vec<PartOut<K2, V2>> = buckets
+            .into_par_iter()
+            .map(|bucket| {
+                let mut groups: HashMap<K, Vec<V>, DetState> = HashMap::default();
+                for (k, v) in bucket {
+                    groups.entry(k).or_default().push(v);
+                }
+                let keys = groups.len();
+                let mut max_group = 0;
+                let mut violations = 0;
+                let mut out = Vec::new();
+                for (k, vs) in groups {
+                    max_group = max_group.max(vs.len());
+                    if let Some(limit) = ml {
+                        if vs.len() > limit {
+                            violations += 1;
+                        }
+                    }
+                    out.extend(reducer(&k, vs));
+                }
+                PartOut {
+                    out,
+                    keys,
+                    max_group,
+                    violations,
+                }
+            })
+            .collect();
+
+        let num_keys: usize = results.iter().map(|r| r.keys).sum();
+        let max_group = results.iter().map(|r| r.max_group).max().unwrap_or(0);
+        let violations: usize = results.iter().map(|r| r.violations).sum();
+        let output: Vec<(K2, V2)> = results.into_iter().flat_map(|r| r.out).collect();
+
+        self.stats.push(RoundStats {
+            round: 0, // renumbered by the ledger
+            input_pairs,
+            input_bytes,
+            output_pairs: output.len(),
+            num_keys,
+            max_group,
+            violations,
+            label,
+        });
+
+        if self.config.enforce_local_memory && violations > 0 {
+            let limit = ml.unwrap_or(usize::MAX);
+            return Err(MrError::LocalMemoryExceeded {
+                group_size: max_group,
+                limit,
+                round: self.stats.num_rounds() - 1,
+            });
+        }
+        Ok(output)
+    }
+
+    /// Executes one round: group `input` by key, apply `reducer` per group,
+    /// concatenate outputs. Fails only when a hard `M_L` budget is exceeded.
+    pub fn round<K, V, K2, V2, F>(
+        &mut self,
+        input: Vec<(K, V)>,
+        reducer: F,
+    ) -> Result<Vec<(K2, V2)>, MrError>
+    where
+        K: Hash + Eq + Send,
+        V: Send,
+        K2: Send,
+        V2: Send,
+        F: Fn(&K, Vec<V>) -> Vec<(K2, V2)> + Sync,
+    {
+        self.round_labelled(input, "round", reducer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count() {
+        let mut eng = MrEngine::new(MrConfig::with_partitions(4));
+        let input = vec![(1u32, 1u64), (2, 1), (1, 1), (3, 1), (1, 1)];
+        let mut out = eng
+            .round(input, |&k, vs| vec![(k, vs.len() as u64)])
+            .unwrap();
+        out.sort();
+        assert_eq!(out, vec![(1, 3), (2, 1), (3, 1)]);
+        let s = eng.stats();
+        assert_eq!(s.num_rounds(), 1);
+        assert_eq!(s.total_pairs(), 5);
+        assert_eq!(s.rounds()[0].num_keys, 3);
+        assert_eq!(s.max_local_memory(), 3);
+    }
+
+    #[test]
+    fn empty_round() {
+        let mut eng = MrEngine::new(MrConfig::default());
+        let out: Vec<(u32, u32)> = eng.round(Vec::<(u32, u32)>::new(), |_, _| vec![]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(eng.stats().num_rounds(), 1);
+        assert_eq!(eng.stats().total_pairs(), 0);
+    }
+
+    #[test]
+    fn chained_rounds_accumulate() {
+        let mut eng = MrEngine::new(MrConfig::with_partitions(2));
+        let r1 = eng
+            .round(vec![(0u8, 1u32), (0, 2), (1, 3)], |&k, vs| {
+                vs.into_iter().map(|v| (k, v * 10)).collect()
+            })
+            .unwrap();
+        let _r2: Vec<(u8, u32)> = eng
+            .round(r1, |&k, vs| vec![(k, vs.into_iter().sum())])
+            .unwrap();
+        assert_eq!(eng.stats().num_rounds(), 2);
+        assert_eq!(eng.stats().total_pairs(), 6);
+    }
+
+    #[test]
+    fn hard_ml_budget_errors() {
+        let mut eng = MrEngine::new(MrConfig::with_partitions(2).with_local_memory(2));
+        let input = vec![(7u32, 0u8); 5];
+        let err = eng.round(input, |&k, vs| vec![(k, vs.len())]).unwrap_err();
+        match err {
+            MrError::LocalMemoryExceeded {
+                group_size, limit, ..
+            } => {
+                assert_eq!(group_size, 5);
+                assert_eq!(limit, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn soft_ml_budget_records_violation() {
+        let mut eng = MrEngine::new(MrConfig::with_partitions(2).with_soft_local_memory(2));
+        let input = vec![(7u32, 0u8); 5];
+        let out = eng.round(input, |&k, vs| vec![(k, vs.len())]).unwrap();
+        assert_eq!(out, vec![(7, 5)]);
+        assert_eq!(eng.stats().total_violations(), 1);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let run = || {
+            let mut eng = MrEngine::new(MrConfig::with_partitions(8));
+            eng.round(
+                (0..1000u32).map(|i| (i % 37, i)).collect::<Vec<_>>(),
+                |&k, vs| vec![(k, vs.into_iter().sum::<u32>())],
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reducer_sees_arrival_order() {
+        let mut eng = MrEngine::new(MrConfig::with_partitions(3));
+        let input: Vec<(u8, u32)> = (0..10).map(|i| (0u8, i)).collect();
+        let out = eng.round(input, |&k, vs| vec![(k, vs)]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reset_stats() {
+        let mut eng = MrEngine::new(MrConfig::default());
+        let _ = eng.round(vec![(1u8, 1u8)], |&k, v| vec![(k, v.len())]);
+        eng.reset_stats();
+        assert_eq!(eng.stats().num_rounds(), 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the MR emulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MrError {
+    /// A reducer group exceeded the configured `M_L` budget while
+    /// enforcement was on.
+    LocalMemoryExceeded {
+        /// Size of the offending group, in pairs.
+        group_size: usize,
+        /// The configured `M_L` budget.
+        limit: usize,
+        /// Round index (0-based) in which the violation occurred.
+        round: usize,
+    },
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::LocalMemoryExceeded {
+                group_size,
+                limit,
+                round,
+            } => write!(
+                f,
+                "round {round}: reducer group of {group_size} pairs exceeds M_L = {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MrError::LocalMemoryExceeded {
+            group_size: 10,
+            limit: 5,
+            round: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("M_L = 5"));
+        assert!(s.contains("round 2"));
+    }
+}

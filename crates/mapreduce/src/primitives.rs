@@ -1,0 +1,292 @@
+//! Fact 1 primitives: sample **sort** and (segmented) **prefix sum** as
+//! explicit MR round sequences.
+//!
+//! The paper's Fact 1 states both run in `O(log_{M_L} n)` rounds on
+//! MR(M_G, M_L) with `M_G = Θ(n)`; with `M_L = Ω(nᵋ)` that is `O(1)` rounds.
+//! The implementations below use the constant-round regime: a sample round
+//! to pick splitters, a counting round, and a routing round (sort); a block
+//! totals round and an offset-application round (prefix sum). Driver-side
+//! glue between rounds holds only `O(partitions)` state, mirroring a Spark
+//! driver.
+
+use crate::engine::MrEngine;
+use crate::error::MrError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distributed sample sort. Returns the values in nondecreasing order.
+///
+/// Three rounds: (1) a sample is gathered at one reducer which emits
+/// `partitions - 1` splitters, (2) bucket sizes are counted, (3) elements
+/// are routed to their bucket, locally sorted, and emitted with their global
+/// rank. The per-reducer load of rounds 2–3 is `O(n / partitions + sample)`
+/// with high probability.
+pub fn mr_sort<T>(eng: &mut MrEngine, items: Vec<T>, seed: u64) -> Result<Vec<T>, MrError>
+where
+    T: Ord + Clone + Send + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        // Still a legal zero-round computation.
+        return Ok(items);
+    }
+    let buckets = eng.config().partitions;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Round 1 — sample: each element elects itself with probability p and is
+    // sent to the single splitter-selection reducer.
+    let expected_sample = (16 * buckets).min(n);
+    let p = expected_sample as f64 / n as f64;
+    let sampled: Vec<((), T)> = items
+        .iter()
+        .filter(|_| rng.gen::<f64>() < p)
+        .map(|x| ((), x.clone()))
+        .collect();
+    let splitter_pairs = eng.round_labelled(sampled, "sort:sample", |_, mut vs: Vec<T>| {
+        vs.sort();
+        // Emit evenly spaced splitters; fewer if the sample is tiny.
+        let want = buckets.saturating_sub(1);
+        let mut out = Vec::with_capacity(want);
+        if !vs.is_empty() {
+            for i in 1..=want {
+                let idx = (i * vs.len()) / (want + 1);
+                out.push(((), vs[idx.min(vs.len() - 1)].clone()));
+            }
+        }
+        out
+    })?;
+    let mut splitters: Vec<T> = splitter_pairs.into_iter().map(|(_, v)| v).collect();
+    splitters.sort();
+
+    let bucket_of = |x: &T| -> u32 { splitters.partition_point(|s| s <= x) as u32 };
+
+    // Round 2 — count bucket sizes.
+    let counted = eng.round_labelled(
+        items.iter().map(|x| (bucket_of(x), ())).collect::<Vec<_>>(),
+        "sort:count",
+        |&b, vs: Vec<()>| vec![(b, vs.len())],
+    )?;
+    let mut sizes = vec![0usize; buckets.max(1)];
+    for (b, c) in counted {
+        sizes[b as usize] = c;
+    }
+    // Driver-side exclusive scan over O(partitions) counters.
+    let mut offsets = vec![0usize; sizes.len() + 1];
+    for i in 0..sizes.len() {
+        offsets[i + 1] = offsets[i] + sizes[i];
+    }
+
+    // Round 3 — route, locally sort, emit (global rank, value).
+    let routed = eng.round_labelled(
+        items.into_iter().map(|x| (bucket_of(&x), x)).collect::<Vec<_>>(),
+        "sort:route",
+        |&b, mut vs: Vec<T>| {
+            vs.sort();
+            let base = offsets[b as usize];
+            vs.into_iter()
+                .enumerate()
+                .map(|(i, x)| (base + i, x))
+                .collect()
+        },
+    )?;
+    let mut out: Vec<Option<T>> = vec![None; n];
+    for (rank, x) in routed {
+        debug_assert!(out[rank].is_none(), "duplicate rank {rank}");
+        out[rank] = Some(x);
+    }
+    Ok(out.into_iter().map(Option::unwrap).collect())
+}
+
+/// Distributed *exclusive* prefix sum: `out[i] = Σ_{j < i} values[j]`.
+///
+/// Two rounds: (1) per-block totals, (2) per-block local scan offset by the
+/// driver-side scan of the `O(partitions)` block totals.
+pub fn mr_prefix_sum(eng: &mut MrEngine, values: Vec<u64>) -> Result<Vec<u64>, MrError> {
+    let n = values.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let blocks = eng.config().partitions;
+    let block_size = n.div_ceil(blocks);
+    let block_of = |i: usize| (i / block_size) as u32;
+
+    // Round 1 — block totals.
+    let totals = eng.round_labelled(
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (block_of(i), v))
+            .collect::<Vec<_>>(),
+        "prefix:totals",
+        |&b, vs: Vec<u64>| vec![(b, vs.iter().sum::<u64>())],
+    )?;
+    let mut block_sums = vec![0u64; blocks];
+    for (b, s) in totals {
+        block_sums[b as usize] = s;
+    }
+    let mut block_offsets = vec![0u64; blocks + 1];
+    for i in 0..blocks {
+        block_offsets[i + 1] = block_offsets[i] + block_sums[i];
+    }
+
+    // Round 2 — local scans with the block offset applied.
+    let scanned = eng.round_labelled(
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (block_of(i), (i, v)))
+            .collect::<Vec<_>>(),
+        "prefix:scan",
+        |&b, mut vs: Vec<(usize, u64)>| {
+            vs.sort_unstable_by_key(|&(i, _)| i);
+            let mut acc = block_offsets[b as usize];
+            vs.into_iter()
+                .map(|(i, v)| {
+                    let out = (i, acc);
+                    acc += v;
+                    out
+                })
+                .collect()
+        },
+    )?;
+    let mut out = vec![0u64; n];
+    for (i, v) in scanned {
+        out[i] = v;
+    }
+    Ok(out)
+}
+
+/// Distributed **segmented** exclusive prefix sum: within each segment id,
+/// `out[i]` is the sum of earlier values *of the same segment*.
+///
+/// One round keyed by segment. Valid in the model when every segment fits in
+/// `M_L` (the regime the paper's growing steps need: per-cluster adjacency
+/// scans with `M_L = Ω(nᵋ)`); the group-size ledger records the demand.
+pub fn mr_segmented_prefix_sum(
+    eng: &mut MrEngine,
+    values: Vec<(u32, u64)>,
+) -> Result<Vec<u64>, MrError> {
+    let n = values.len();
+    let scanned = eng.round_labelled(
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, (seg, v))| (seg, (i, v)))
+            .collect::<Vec<_>>(),
+        "prefix:segmented",
+        |_, mut vs: Vec<(usize, u64)>| {
+            vs.sort_unstable_by_key(|&(i, _)| i);
+            let mut acc = 0u64;
+            vs.into_iter()
+                .map(|(i, v)| {
+                    let out = (i, acc);
+                    acc += v;
+                    out
+                })
+                .collect()
+        },
+    )?;
+    let mut out = vec![0u64; n];
+    for (i, v) in scanned {
+        out[i] = v;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MrConfig;
+
+    fn engine() -> MrEngine {
+        MrEngine::new(MrConfig::with_partitions(8))
+    }
+
+    #[test]
+    fn sort_matches_sequential() {
+        let mut eng = engine();
+        let items: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 10007) as u32).collect();
+        let mut expect = items.clone();
+        expect.sort();
+        let got = mr_sort(&mut eng, items, 42).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(eng.stats().num_rounds(), 3);
+    }
+
+    #[test]
+    fn sort_with_duplicates_and_small_inputs() {
+        let mut eng = engine();
+        assert_eq!(mr_sort(&mut eng, Vec::<u32>::new(), 0).unwrap(), vec![]);
+        assert_eq!(mr_sort(&mut eng, vec![9u32], 0).unwrap(), vec![9]);
+        let items = vec![5u32; 100];
+        assert_eq!(mr_sort(&mut eng, items.clone(), 1).unwrap(), items);
+    }
+
+    #[test]
+    fn sort_already_sorted_and_reversed() {
+        let mut eng = engine();
+        let asc: Vec<u32> = (0..1000).collect();
+        assert_eq!(mr_sort(&mut eng, asc.clone(), 7).unwrap(), asc);
+        let desc: Vec<u32> = (0..1000).rev().collect();
+        assert_eq!(mr_sort(&mut eng, desc, 7).unwrap(), asc);
+    }
+
+    #[test]
+    fn sort_balances_load() {
+        // With random input, no reducer should see the whole input.
+        let mut eng = engine();
+        let items: Vec<u64> = (0..20000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let _ = mr_sort(&mut eng, items, 3).unwrap();
+        let route_round = eng
+            .stats()
+            .rounds()
+            .iter()
+            .find(|r| r.label == "sort:route")
+            .unwrap();
+        assert!(
+            route_round.max_group < 20000 / 2,
+            "skewed buckets: {}",
+            route_round.max_group
+        );
+    }
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        let mut eng = engine();
+        let values: Vec<u64> = (0..997).map(|i| (i % 13) as u64).collect();
+        let got = mr_prefix_sum(&mut eng, values.clone()).unwrap();
+        let mut acc = 0u64;
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(got[i], acc, "index {i}");
+            acc += v;
+        }
+        assert_eq!(eng.stats().num_rounds(), 2);
+    }
+
+    #[test]
+    fn prefix_sum_empty_and_single() {
+        let mut eng = engine();
+        assert!(mr_prefix_sum(&mut eng, vec![]).unwrap().is_empty());
+        assert_eq!(mr_prefix_sum(&mut eng, vec![42]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn segmented_prefix_sum() {
+        let mut eng = engine();
+        // Segments: 0 -> [1, 2, 3]; 1 -> [10, 20]; interleaved.
+        let values = vec![(0, 1), (1, 10), (0, 2), (1, 20), (0, 3)];
+        let got = mr_segmented_prefix_sum(&mut eng, values).unwrap();
+        assert_eq!(got, vec![0, 0, 1, 10, 3]);
+    }
+
+    #[test]
+    fn segmented_prefix_sum_one_segment_equals_plain() {
+        let mut eng = engine();
+        let vals: Vec<u64> = (1..=50).collect();
+        let seg: Vec<(u32, u64)> = vals.iter().map(|&v| (0u32, v)).collect();
+        let got = mr_segmented_prefix_sum(&mut eng, seg).unwrap();
+        let mut eng2 = engine();
+        let plain = mr_prefix_sum(&mut eng2, vals).unwrap();
+        assert_eq!(got, plain);
+    }
+}

@@ -1,0 +1,151 @@
+//! Round-by-round metrics ledger — the quantities the MR model charges.
+
+use std::fmt;
+
+/// Metrics of a single executed round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundStats {
+    /// 0-based round index within the owning engine.
+    pub round: usize,
+    /// Pairs entering the shuffle (the round's communication volume).
+    pub input_pairs: usize,
+    /// Approximate shuffled bytes (`input_pairs × size_of::<(K, V)>()`).
+    pub input_bytes: usize,
+    /// Pairs produced by the reducers.
+    pub output_pairs: usize,
+    /// Number of distinct keys.
+    pub num_keys: usize,
+    /// Largest reducer group — the round's local-memory (`M_L`) footprint.
+    pub max_group: usize,
+    /// Groups whose size exceeded the configured `M_L` (0 when no budget).
+    pub violations: usize,
+    /// Free-form label for reporting ("sort:sample", "vertex:step", …).
+    pub label: &'static str,
+}
+
+/// Accumulated metrics over an engine's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct MrStats {
+    rounds: Vec<RoundStats>,
+}
+
+impl MrStats {
+    /// Records one completed round.
+    pub(crate) fn push(&mut self, mut r: RoundStats) {
+        r.round = self.rounds.len();
+        self.rounds.push(r);
+    }
+
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total pairs shuffled over all rounds (aggregate communication volume).
+    pub fn total_pairs(&self) -> u64 {
+        self.rounds.iter().map(|r| r.input_pairs as u64).sum()
+    }
+
+    /// Total approximate bytes shuffled over all rounds.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.input_bytes as u64).sum()
+    }
+
+    /// Peak per-round communication volume, in pairs.
+    pub fn max_round_pairs(&self) -> usize {
+        self.rounds.iter().map(|r| r.input_pairs).max().unwrap_or(0)
+    }
+
+    /// Peak reducer group size over all rounds (the run's `M_L` demand).
+    pub fn max_local_memory(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_group).max().unwrap_or(0)
+    }
+
+    /// Total `M_L` violations recorded (soft mode).
+    pub fn total_violations(&self) -> usize {
+        self.rounds.iter().map(|r| r.violations).sum()
+    }
+
+    /// The per-round records.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Merges another ledger's rounds after this one's (renumbering them).
+    pub fn absorb(&mut self, other: &MrStats) {
+        for r in &other.rounds {
+            self.push(r.clone());
+        }
+    }
+}
+
+impl fmt::Display for MrStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "rounds = {}, total pairs = {}, peak round pairs = {}, peak M_L = {}",
+            self.num_rounds(),
+            self.total_pairs(),
+            self.max_round_pairs(),
+            self.max_local_memory()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(pairs: usize, max_group: usize) -> RoundStats {
+        RoundStats {
+            round: 0,
+            input_pairs: pairs,
+            input_bytes: pairs * 8,
+            output_pairs: pairs,
+            num_keys: 1,
+            max_group,
+            violations: 0,
+            label: "test",
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let mut s = MrStats::default();
+        s.push(round(10, 4));
+        s.push(round(30, 9));
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.total_pairs(), 40);
+        assert_eq!(s.max_round_pairs(), 30);
+        assert_eq!(s.max_local_memory(), 9);
+        assert_eq!(s.rounds()[1].round, 1); // renumbered
+    }
+
+    #[test]
+    fn absorb_renumbers() {
+        let mut a = MrStats::default();
+        a.push(round(1, 1));
+        let mut b = MrStats::default();
+        b.push(round(2, 2));
+        b.push(round(3, 3));
+        a.absorb(&b);
+        assert_eq!(a.num_rounds(), 3);
+        assert_eq!(a.rounds()[2].round, 2);
+        assert_eq!(a.total_pairs(), 6);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = MrStats::default();
+        assert_eq!(s.num_rounds(), 0);
+        assert_eq!(s.max_round_pairs(), 0);
+        assert_eq!(s.max_local_memory(), 0);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut s = MrStats::default();
+        s.push(round(5, 2));
+        assert!(s.to_string().contains("rounds = 1"));
+    }
+}

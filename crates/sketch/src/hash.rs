@@ -1,0 +1,51 @@
+//! Deterministic 64-bit mixing (splitmix64) shared by the sketch families.
+//!
+//! Sketches that must be merged need *identical* hash functions, so the hash
+//! is derived purely from the item and the construction seed — never from
+//! per-instance randomness.
+
+/// splitmix64 finalizer: a fast, well-distributed 64→64 bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash of `item` under trial/seed `salt`.
+#[inline]
+pub fn hash_with(item: u64, salt: u64) -> u64 {
+    splitmix64(item ^ splitmix64(salt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_eq!(hash_with(1, 2), hash_with(1, 2));
+        assert_ne!(hash_with(1, 2), hash_with(1, 3));
+        assert_ne!(hash_with(1, 2), hash_with(2, 2));
+    }
+
+    #[test]
+    fn bits_look_uniform() {
+        // Cheap avalanche check: over many inputs each of the 64 bits should
+        // be set roughly half the time.
+        let n = 4096u64;
+        let mut ones = [0u32; 64];
+        for x in 0..n {
+            let h = splitmix64(x);
+            for (b, slot) in ones.iter_mut().enumerate() {
+                *slot += ((h >> b) & 1) as u32;
+            }
+        }
+        for (b, &c) in ones.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((0.4..0.6).contains(&frac), "bit {b} biased: {frac}");
+        }
+    }
+}

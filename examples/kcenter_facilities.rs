@@ -1,0 +1,49 @@
+//! k-center facility placement (§3.1): choose k depots on a road network so
+//! the farthest intersection is as close as possible to a depot, comparing
+//! the paper's CLUSTER-based parallel approximation against the sequential
+//! Gonzalez 2-approximation.
+//!
+//! ```text
+//! cargo run --release --example kcenter_facilities
+//! ```
+
+use pardec::core::kcenter::kcenter_objective;
+use pardec::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let g = generators::road_network(200, 200, 0.4, 3);
+    println!(
+        "road network: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    for k in [5usize, 20, 100] {
+        let t0 = Instant::now();
+        let ours = kcenter(&g, k, 42).expect("feasible");
+        let t_ours = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let gz = gonzalez(&g, k, 42).expect("feasible");
+        let t_gz = t0.elapsed().as_secs_f64();
+
+        // Sanity: the objective value is what multi-source BFS measures.
+        assert_eq!(ours.radius, kcenter_objective(&g, &ours.centers));
+
+        println!(
+            "\nk = {k:3}: CLUSTER-based  radius {:4}  ({} centers, {} clusters pre-merge, {t_ours:.3}s)",
+            ours.radius,
+            ours.centers.len(),
+            ours.clusters_before_merge,
+        );
+        println!(
+            "         Gonzalez 2-approx radius {:4}  ({t_gz:.3}s, {k} sequential BFS waves)",
+            gz.radius
+        );
+        println!(
+            "         ratio vs Gonzalez: {:.2} (Theorem 2 allows O(log^3 n))",
+            ours.radius as f64 / gz.radius as f64
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Social-graph analytics: decompose a heavy-tailed graph, compare CLUSTER
+//! against the MPX baseline (Table 2's experiment), and estimate the
+//! neighbourhood function / effective diameter with HADI sketches.
+//!
+//! ```text
+//! cargo run --release --example social_graph_analysis
+//! ```
+
+use pardec::prelude::*;
+
+fn main() {
+    // Windowed preferential attachment: power-law-ish degrees, diameter ~16
+    // (the twitter substitute of the experiment harness).
+    let g = generators::windowed_preferential_attachment(50_000, 8, 0.025, 9);
+    let deg = stats::degree_stats(&g);
+    println!(
+        "social graph: {} nodes, {} edges, degrees avg {:.1} / p99 {} / max {}",
+        g.num_nodes(),
+        g.num_edges(),
+        deg.avg,
+        deg.p99,
+        deg.max
+    );
+
+    // --- Decomposition quality: CLUSTER vs MPX ------------------------------
+    let ours = cluster(&g, &ClusterParams::new(2, 7));
+    let c = &ours.clustering;
+    let beta = 1.0; // tuned so MPX lands near CLUSTER's granularity
+    let theirs = mpx(&g, beta, 7);
+    let m = &theirs.clustering;
+    println!("\n              clusters   max radius   quotient edges");
+    println!(
+        "CLUSTER(2)    {:8}   {:10}   {:14}",
+        c.num_clusters(),
+        c.max_radius(),
+        c.quotient(&g).num_edges()
+    );
+    println!(
+        "MPX(β={beta})    {:8}   {:10}   {:14}",
+        m.num_clusters(),
+        m.max_radius(),
+        m.quotient(&g).num_edges()
+    );
+
+    // --- Neighbourhood function via HADI sketches ---------------------------
+    let mut params = HadiParams::new(5);
+    params.trials = 32;
+    let h = hadi(&g, &params);
+    println!(
+        "\nHADI: diameter estimate {} (bit-exact convergence at {}), {} iterations",
+        h.diameter_estimate, h.bit_convergence, h.iterations
+    );
+    let n2 = (g.num_nodes() as f64).powi(2);
+    println!("N(t) as a fraction of n² (connected graph saturates at 1):");
+    for (t, v) in h.neighborhood.iter().enumerate() {
+        if t % 2 == 0 || t + 1 == h.neighborhood.len() {
+            println!("  t = {t:3}: {:.4}", v / n2);
+        }
+    }
+
+    // Cross-check against the quotient-based bound.
+    let approx = approximate_diameter(&g, &DiameterParams::new(2, 7));
+    println!(
+        "\nquotient diameter bounds: {} ≤ Δ ≤ {}",
+        approx.lower_bound,
+        approx.estimate()
+    );
+}

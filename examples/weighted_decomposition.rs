@@ -1,0 +1,56 @@
+//! The §7 future-work extension: decomposing a **weighted** graph while
+//! controlling both the weighted radius and the hop radius (the
+//! parallel-depth proxy).
+//!
+//! Scenario: a road network where edge weights are travel times — highway
+//! rows are fast (weight 1), side streets slow (weight 4). The weighted
+//! decomposition groups nodes by travel time, not hop count.
+//!
+//! ```text
+//! cargo run --release --example weighted_decomposition
+//! ```
+
+use pardec::core::weighted_cluster::weighted_cluster;
+use pardec::prelude::*;
+
+fn main() {
+    // A 120×120 grid with fast horizontal corridors every 8th row.
+    let (rows, cols) = (120usize, 120usize);
+    let mut edges: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                let w = if r % 8 == 0 { 1 } else { 4 };
+                edges.push((u, u + 1, w));
+            }
+            if r + 1 < rows {
+                edges.push((u, u + cols as NodeId, 4));
+            }
+        }
+    }
+    let g = WeightedGraph::from_edges(rows * cols, &edges);
+    println!(
+        "weighted grid: {} nodes, {} edges (fast corridors every 8th row)",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    println!("\n  tau   clusters   weighted radius   hop radius");
+    for tau in [1usize, 4, 16, 64] {
+        let r = weighted_cluster(&g, &ClusterParams::new(tau, 42));
+        r.validate(&g).expect("valid weighted partition");
+        println!(
+            "{:5}   {:8}   {:15}   {:10}",
+            tau,
+            r.num_clusters(),
+            r.max_weighted_radius(),
+            r.max_hop_radius(),
+        );
+    }
+    println!(
+        "\nBoth radii shrink as tau grows (the §7 claim); the hop radius exceeds the\n\
+         weighted radius divided by the minimum edge weight because clusters stretch\n\
+         along the fast corridors."
+    );
+}

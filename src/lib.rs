@@ -1,0 +1,56 @@
+//! # pardec — parallel graph decomposition, clustering, and diameter
+//! approximation
+//!
+//! A Rust implementation of *“Space and Time Efficient Parallel Graph
+//! Decomposition, Clustering, and Diameter Approximation”* (Ceccarello,
+//! Pietracaprina, Pucci, Upfal — SPAA 2015), together with every substrate
+//! its evaluation needs: a CSR graph library with generators and exact
+//! diameter algorithms, an MR(M_G, M_L) model emulation with round and
+//! communication accounting, distinct-count sketches, and the MPX / BFS /
+//! HADI baselines.
+//!
+//! This crate is a facade: it re-exports the workspace members —
+//!
+//! * [`graph`] ([`pardec_graph`]) — graphs, generators, BFS, exact diameter,
+//!   quotient graphs;
+//! * [`mr`] ([`pardec_mr`]) — the MapReduce-model emulation engine;
+//! * [`sketch`] ([`pardec_sketch`]) — Flajolet–Martin / HyperLogLog;
+//! * [`core`] ([`pardec_core`]) — CLUSTER, CLUSTER2, k-center, diameter
+//!   approximation, distance oracle, and the baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pardec::prelude::*;
+//!
+//! // A 60×60 mesh: 3600 nodes, diameter 118, doubling dimension 2.
+//! let g = generators::mesh(60, 60);
+//!
+//! // Decompose with CLUSTER(τ = 8).
+//! let result = cluster(&g, &ClusterParams::new(8, 42));
+//! let clustering = &result.clustering;
+//! assert!(clustering.validate(&g).is_ok());
+//!
+//! // Approximate the diameter through the quotient graph (§4):
+//! let approx = approximate_diameter(&g, &DiameterParams::new(8, 42));
+//! let delta = 118u64;
+//! assert!(approx.lower_bound <= delta);
+//! assert!(approx.estimate() >= delta);
+//! ```
+
+pub use pardec_core as core;
+pub use pardec_graph as graph;
+pub use pardec_mr as mr;
+pub use pardec_sketch as sketch;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use pardec_core::{
+        approximate_diameter, cluster, cluster2, gonzalez, hadi, kcenter, mpx, Cluster2Result,
+        ClusterParams, ClusterResult, Clustering, DiameterApprox, DiameterParams, DistanceOracle,
+        HadiParams, HadiResult, KCenterResult, MpxResult,
+    };
+    pub use pardec_graph::prelude::*;
+    pub use pardec_mr::{MrConfig, MrEngine, MrStats};
+    pub use pardec_sketch::{DistinctCounter, FmSketch, HllSketch};
+}

@@ -1,0 +1,163 @@
+//! Failure-injection tests: every crate's error path exercised through the
+//! facade — corrupt inputs, violated budgets, infeasible parameters, and
+//! panicking contracts.
+
+use pardec::prelude::*;
+
+// ---------------------------------------------------------------------------
+// I/O corruption
+// ---------------------------------------------------------------------------
+
+#[test]
+fn binary_io_rejects_every_truncation_point() {
+    let g = generators::mesh(4, 5);
+    let mut buf = Vec::new();
+    io::save_binary(&g, &mut buf).unwrap();
+    // Sweep truncations across header, offsets, and payload.
+    for cut in [1usize, 5, 7, 15, 23, buf.len() - 1] {
+        assert!(
+            io::load_binary(&buf[..cut]).is_err(),
+            "truncation at {cut} accepted"
+        );
+    }
+}
+
+#[test]
+fn binary_io_rejects_out_of_range_targets() {
+    let g = generators::path(3);
+    let mut buf = Vec::new();
+    io::save_binary(&g, &mut buf).unwrap();
+    // Patch the first target (last 4×arcs bytes region) to a huge id.
+    let arcs = g.num_arcs();
+    let target_region = buf.len() - 4 * arcs;
+    buf[target_region..target_region + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(io::load_binary(&buf).is_err());
+}
+
+#[test]
+fn edge_list_parser_rejects_malformed_lines() {
+    for bad in ["1", "a b", "1 2\n3", "-1 2"] {
+        let res = io::read_edge_list(&mut std::io::BufReader::new(bad.as_bytes()));
+        assert!(res.is_err(), "accepted {bad:?}");
+    }
+    // Extra columns on a line are tolerated (ignored).
+    let ok = io::read_edge_list(&mut std::io::BufReader::new("1 2 ignored-extra".as_bytes()));
+    assert!(ok.is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// MR engine budget violations
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mr_hard_budget_aborts_and_soft_budget_records() {
+    let skewed: Vec<(u8, u8)> = vec![(0, 0); 64];
+    let mut hard = MrEngine::new(MrConfig::with_partitions(2).with_local_memory(8));
+    assert!(hard.round(skewed.clone(), |&k, vs| vec![(k, vs.len())]).is_err());
+
+    let mut soft = MrEngine::new(MrConfig::with_partitions(2).with_soft_local_memory(8));
+    let out = soft.round(skewed, |&k, vs| vec![(k, vs.len())]).unwrap();
+    assert_eq!(out, vec![(0, 64)]);
+    assert_eq!(soft.stats().total_violations(), 1);
+    assert_eq!(soft.stats().max_local_memory(), 64);
+}
+
+#[test]
+fn mr_sort_respects_hard_budget_on_uniform_data() {
+    // A generous budget on well-spread data must NOT trip.
+    let items: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+    let mut eng = MrEngine::new(MrConfig::with_partitions(16).with_local_memory(4_000));
+    let sorted = pardec::mr::primitives::mr_sort(&mut eng, items.clone(), 1).unwrap();
+    let mut expect = items;
+    expect.sort();
+    assert_eq!(sorted, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Infeasible algorithm parameters
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kcenter_infeasibility_is_an_error_not_a_panic() {
+    let g = generators::disjoint_union(&generators::path(4), &generators::path(4));
+    let err = kcenter(&g, 1, 0).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("components"), "unexpected message: {msg}");
+    assert!(gonzalez(&g, 0, 0).is_err());
+}
+
+#[test]
+#[should_panic(expected = "tau must be positive")]
+fn cluster_params_reject_zero_tau() {
+    let _ = ClusterParams::new(0, 1);
+}
+
+#[test]
+#[should_panic(expected = "beta must be positive")]
+fn mpx_rejects_nonpositive_beta() {
+    let g = generators::path(4);
+    let _ = mpx(&g, 0.0, 1);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn append_chain_rejects_bad_attach() {
+    let g = generators::path(3);
+    let _ = generators::append_chain(&g, 99, 5);
+}
+
+#[test]
+#[should_panic(expected = "window_frac")]
+fn windowed_ba_rejects_zero_window() {
+    let _ = generators::windowed_preferential_attachment(100, 3, 0.0, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Sketch contracts
+// ---------------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "incompatible")]
+fn fm_seed_mismatch_panics() {
+    let mut a = FmSketch::new(8, 1);
+    let b = FmSketch::new(8, 2);
+    a.merge(&b);
+}
+
+#[test]
+#[should_panic(expected = "at least one trial")]
+fn fm_zero_trials_panics() {
+    let _ = FmSketch::new(0, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate graph inputs survive every public algorithm
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degenerate_graphs_do_not_break_the_stack() {
+    for g in [CsrGraph::empty(0), CsrGraph::empty(1), CsrGraph::empty(7)] {
+        let c = cluster(&g, &ClusterParams::new(1, 0));
+        c.clustering.validate(&g).unwrap();
+        let m = mpx(&g, 1.0, 0);
+        m.clustering.validate(&g).unwrap();
+        let h = hadi(&g, &HadiParams::new(0));
+        assert_eq!(h.bit_convergence, 0);
+        if g.num_nodes() > 0 {
+            let a = approximate_diameter(&g, &DiameterParams::new(1, 0));
+            assert_eq!(a.lower_bound, 0); // all-isolated: quotient has no edges
+        }
+    }
+}
+
+#[test]
+fn single_edge_graph_full_pipeline() {
+    let g = GraphBuilder::new(2).add_edges([(0, 1)]).build();
+    let a = approximate_diameter(&g, &DiameterParams::new(1, 0));
+    assert!(a.lower_bound <= 1);
+    assert!(a.estimate() >= 1);
+    let k = kcenter(&g, 1, 0).unwrap();
+    assert_eq!(k.radius, 1);
+    let o = DistanceOracle::build(&g, 1, 0, pardec::core::diameter::Decomposition::Cluster);
+    assert!(o.query(0, 1) >= 1);
+}

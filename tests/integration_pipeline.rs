@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the full §4 pipeline (generate → cluster
+//! → quotient → diameter bounds), the k-center stack, and the distance
+//! oracle, exercised end-to-end through the facade crate.
+
+use pardec::core::diameter::Decomposition;
+use pardec::prelude::*;
+
+/// The diameter sandwich `Δ_C ≤ Δ ≤ Δ″ ≤ Δ′` holds across graph families,
+/// decompositions, and seeds.
+#[test]
+fn diameter_sandwich_across_families() {
+    let cases: Vec<(&str, CsrGraph)> = vec![
+        ("mesh", generators::mesh(25, 30)),
+        ("torus", generators::torus(20, 20)),
+        ("road", generators::road_network(25, 25, 0.4, 3)),
+        ("social", generators::windowed_preferential_attachment(3000, 5, 0.05, 4)),
+        ("lollipop", generators::lollipop(600, 4, 150, 5)),
+        ("gnm-lcc", {
+            let (lc, _) = components::largest_component(&generators::gnm(800, 1200, 6));
+            lc
+        }),
+    ];
+    for (name, g) in &cases {
+        let delta = diameter::exact_diameter(g) as u64;
+        for seed in 0..2 {
+            for decomposition in [Decomposition::Cluster, Decomposition::Cluster2] {
+                let mut p = DiameterParams::new(4, seed);
+                p.decomposition = decomposition;
+                let a = approximate_diameter(g, &p);
+                a.clustering.validate(g).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert!(a.lower_bound <= delta, "{name}: lb {} > Δ {delta}", a.lower_bound);
+                let w = a.upper_bound_weighted.expect("weighted on");
+                assert!(w >= delta, "{name}: Δ″ {w} < Δ {delta}");
+                assert!(w <= a.upper_bound, "{name}: Δ″ {w} > Δ′ {}", a.upper_bound);
+            }
+        }
+    }
+}
+
+/// Shared-memory CLUSTER, MR CLUSTER, and CLUSTER2 all produce valid
+/// partitions whose quotient reconnects the graph.
+#[test]
+fn decomposition_implementations_agree_structurally() {
+    let g = generators::road_network(30, 30, 0.4, 9);
+    let sm = cluster(&g, &ClusterParams::new(4, 1));
+    let mr = pardec::core::mr_impl::mr_cluster(&g, &ClusterParams::new(4, 1));
+    let c2 = cluster2(&g, &ClusterParams::new(4, 1));
+    for (name, c) in [
+        ("shared-memory", &sm.clustering),
+        ("mr", &mr.clustering),
+        ("cluster2", &c2.clustering),
+    ] {
+        c.validate(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // The quotient of a connected graph is connected.
+        let q = c.quotient(&g);
+        assert!(
+            components::is_connected(&q),
+            "{name}: quotient disconnected"
+        );
+    }
+}
+
+/// k-center: both solvers return feasible solutions whose objective is
+/// consistent, with the CLUSTER-based one within its theory bound of the
+/// Gonzalez baseline.
+#[test]
+fn kcenter_stack() {
+    let g = generators::mesh(25, 25);
+    let k = 12;
+    let ours = kcenter(&g, k, 3).unwrap();
+    let base = gonzalez(&g, k, 3).unwrap();
+    assert!(ours.centers.len() <= k);
+    assert_eq!(base.centers.len(), k);
+    assert!(ours.radius >= base.radius / 2); // any feasible ≥ OPT ≥ gz/2
+    let logn = (g.num_nodes() as f64).log2();
+    assert!(
+        (ours.radius as f64) <= base.radius as f64 * logn * logn,
+        "radius {} vs gonzalez {}",
+        ours.radius,
+        base.radius
+    );
+}
+
+/// The oracle never underestimates, and reuses a diameter run's clustering.
+#[test]
+fn oracle_from_diameter_run() {
+    let g = generators::road_network(20, 20, 0.3, 5);
+    let a = approximate_diameter(&g, &DiameterParams::new(4, 9));
+    let oracle = DistanceOracle::from_clustering(&g, &a.clustering);
+    let truth = traversal::bfs(&g, 0).dist;
+    for v in (0..g.num_nodes() as NodeId).step_by(11) {
+        let q = oracle.query(0, v);
+        assert!(q >= truth[v as usize] as u64);
+        // The oracle bound relates to the diameter estimate.
+        assert!(q <= a.estimate() + 2 * a.radius as u64);
+    }
+}
+
+/// Sketches + graph: per-node FM sketches merged along a BFS tree count the
+/// reachable set (cross-crate use of pardec-sketch with pardec-graph).
+#[test]
+fn sketch_counts_reachable_set() {
+    let _g = generators::disjoint_union(&generators::mesh(12, 12), &generators::cycle(30));
+    let mut acc = FmSketch::new(64, 3);
+    // Merge singleton sketches of the mesh component only.
+    for v in 0..144u32 {
+        let mut s = FmSketch::new(64, 3);
+        s.add(v as u64);
+        acc.merge(&s);
+    }
+    let est = acc.estimate();
+    assert!(
+        (72.0..288.0).contains(&est),
+        "estimate {est} for true 144"
+    );
+}
+
+/// Graph I/O round trip through the facade: a generated workload survives
+/// text and binary serialization.
+#[test]
+fn io_round_trip() {
+    let g = generators::windowed_preferential_attachment(500, 4, 0.1, 8);
+    let mut text = Vec::new();
+    io::write_edge_list(&g, &mut text).unwrap();
+    let g2 = io::read_edge_list(&mut std::io::BufReader::new(&text[..])).unwrap();
+    assert_eq!(g, g2);
+    let mut bin = Vec::new();
+    io::save_binary(&g, &mut bin).unwrap();
+    assert_eq!(io::load_binary(&bin).unwrap(), g);
+}
+
+/// Figure 1's structural claim: appending a chain of length L to a
+/// small-diameter graph leaves CLUSTER's growth-step count (parallel depth)
+/// essentially unchanged while BFS depth grows by Θ(L).
+#[test]
+fn chain_append_depth_contrast() {
+    let base = generators::windowed_preferential_attachment(4000, 6, 0.05, 2);
+    let delta = diameter::exact_diameter(&base) as usize;
+    let long = generators::append_chain(&base, 0, 10 * delta);
+
+    let steps_base = cluster(&base, &ClusterParams::new(2, 7))
+        .trace
+        .total_growth_steps();
+    let steps_long = cluster(&long, &ClusterParams::new(2, 7))
+        .trace
+        .total_growth_steps();
+    assert!(
+        steps_long <= 3 * steps_base + 10,
+        "CLUSTER depth grew with the chain: {steps_base} -> {steps_long}"
+    );
+
+    let bfs_base = traversal::bfs(&base, 1).levels as usize;
+    let bfs_long = traversal::bfs(&long, 1).levels as usize;
+    assert!(
+        bfs_long >= bfs_base + 9 * delta,
+        "BFS depth must track the chain: {bfs_base} -> {bfs_long}"
+    );
+}
