@@ -10,7 +10,10 @@ fn bench_cluster(c: &mut Criterion) {
     let workloads = [
         ("mesh-100x100", generators::mesh(100, 100)),
         ("road-100x100", generators::road_network(100, 100, 0.4, 103)),
-        ("ba-20k", generators::preferential_attachment(20_000, 8, 101)),
+        (
+            "ba-20k",
+            generators::preferential_attachment(20_000, 8, 101),
+        ),
     ];
     for (name, g) in &workloads {
         for tau in [4usize, 32] {

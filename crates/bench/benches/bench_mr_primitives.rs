@@ -2,10 +2,10 @@
 //! prefix sum), a generic aggregation round, and a vertex-program BFS.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pardec_graph::generators;
 use pardec_mr::algo::mr_bfs;
 use pardec_mr::primitives::{mr_prefix_sum, mr_sort};
 use pardec_mr::{MrConfig, MrEngine};
-use pardec_graph::generators;
 
 fn bench_mr(c: &mut Criterion) {
     let mut group = c.benchmark_group("mr");

@@ -13,9 +13,7 @@ fn bench_quotient(c: &mut Criterion) {
     let k = cl.num_clusters();
 
     let mut group = c.benchmark_group("quotient");
-    group.bench_function("unweighted", |b| {
-        b.iter(|| quotient(&g, &cl.assignment, k))
-    });
+    group.bench_function("unweighted", |b| b.iter(|| quotient(&g, &cl.assignment, k)));
     group.bench_function("weighted", |b| {
         b.iter(|| weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k))
     });

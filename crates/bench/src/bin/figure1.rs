@@ -6,7 +6,10 @@
 //! CLUSTER's stays flat. Emits one series row per (dataset, c); pipe to a
 //! plotting tool or read the trend directly.
 
-use pardec_bench::{report::{secs, Table}, scale_from_args, timed, workloads};
+use pardec_bench::{
+    report::{secs, Table},
+    scale_from_args, timed, workloads,
+};
 use pardec_core::mr_impl::{mr_bfs, mr_cluster};
 use pardec_core::ClusterParams;
 use pardec_graph::generators::append_chain;
@@ -17,7 +20,13 @@ fn main() {
     let scale = scale_from_args();
     println!("Figure 1: time vs appended chain length (scale {scale:?})\n");
     let mut t = Table::new([
-        "dataset", "c", "extra nodes", "CLUSTER s", "BFS s", "C rounds", "B rounds",
+        "dataset",
+        "c",
+        "extra nodes",
+        "CLUSTER s",
+        "BFS s",
+        "C rounds",
+        "B rounds",
     ]);
     for d in workloads::social_datasets(scale) {
         let base = &d.graph;

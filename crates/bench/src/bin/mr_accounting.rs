@@ -13,7 +13,12 @@ fn main() {
     let scale = scale_from_args();
     println!("MR accounting: rounds / volume / M_L demand (scale {scale:?})\n");
     let mut t = Table::new([
-        "dataset", "algo", "rounds", "total pairs", "peak round pairs", "peak M_L",
+        "dataset",
+        "algo",
+        "rounds",
+        "total pairs",
+        "peak round pairs",
+        "peak M_L",
     ]);
     let fmt = |name: &str, algo: &str, rounds: usize, stats: &MrStats, t: &mut Table| {
         t.row([
@@ -37,7 +42,11 @@ fn main() {
         fmt(d.name, "BFS", b.supersteps, &b.stats, &mut t);
 
         let mut p = HadiParams::new(11);
-        p.trials = if matches!(scale, workloads::Scale::Ci) { 32 } else { 4 };
+        p.trials = if matches!(scale, workloads::Scale::Ci) {
+            32
+        } else {
+            4
+        };
         let (h, stats) = mr_hadi(g, &p);
         fmt(d.name, "HADI", h.iterations, &stats, &mut t);
         eprintln!("[mr_accounting] {} done", d.name);

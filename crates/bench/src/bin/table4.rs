@@ -6,7 +6,10 @@
 //! Extra columns beyond the paper: superstep (round) counts and total
 //! shuffled pairs — the architecture-independent explanation of the timings.
 
-use pardec_bench::{report::{secs, Table}, scale_from_args, timed, workloads};
+use pardec_bench::{
+    report::{secs, Table},
+    scale_from_args, timed, workloads,
+};
 use pardec_core::hadi::mr_hadi;
 use pardec_core::mr_impl::{mr_bfs, mr_cluster};
 use pardec_core::{ClusterParams, HadiParams};
@@ -19,7 +22,13 @@ fn main() {
     let scale = scale_from_args();
     println!("Table 4: time (s) and estimate vs BFS and HADI, MR emulation (scale {scale:?})\n");
     let mut t = Table::new([
-        "dataset", "CLUSTER t(D')", "BFS t(D')", "HADI t(D')", "D", "rounds C/B/H", "Mpairs C/B/H",
+        "dataset",
+        "CLUSTER t(D')",
+        "BFS t(D')",
+        "HADI t(D')",
+        "D",
+        "rounds C/B/H",
+        "Mpairs C/B/H",
     ]);
     for d in workloads::datasets(scale) {
         let g = &d.graph;
@@ -63,7 +72,11 @@ fn main() {
             let mut p = HadiParams::new(11);
             p.trials = trials;
             let (r, stats) = mr_hadi(g, &p);
-            (r.diameter_estimate as u64, r.iterations, stats.total_pairs())
+            (
+                r.diameter_estimate as u64,
+                r.iterations,
+                stats.total_pairs(),
+            )
         });
 
         eprintln!("[table4] {} done (Δ = {delta})", d.name);

@@ -21,7 +21,11 @@ pub enum ArgError {
     MissingCommand,
     MissingValue(String),
     MissingOption(String),
-    BadValue { key: String, value: String, expected: &'static str },
+    BadValue {
+        key: String,
+        value: String,
+        expected: &'static str,
+    },
     UnknownOptions(Vec<String>),
 }
 
@@ -31,7 +35,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "no subcommand given (try `pardec help`)"),
             ArgError::MissingValue(k) => write!(f, "option --{k} expects a value"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} missing"),
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} {value:?}: expected {expected}")
             }
             ArgError::UnknownOptions(ks) => {
@@ -45,9 +53,26 @@ impl std::error::Error for ArgError {}
 
 /// Keys that take a value (everything else given as `--x` is a bare flag).
 const VALUED_KEYS: &[&str] = &[
-    "family", "rows", "cols", "nodes", "attach", "window", "extra-prob", "degree",
-    "seed", "out", "graph", "tau", "algorithm", "beta", "k", "labels", "scale",
-    "queries", "trials", "edges",
+    "family",
+    "rows",
+    "cols",
+    "nodes",
+    "attach",
+    "window",
+    "extra-prob",
+    "degree",
+    "seed",
+    "out",
+    "graph",
+    "tau",
+    "algorithm",
+    "beta",
+    "k",
+    "labels",
+    "scale",
+    "queries",
+    "trials",
+    "edges",
 ];
 
 impl Args {
@@ -93,7 +118,11 @@ impl Args {
     }
 
     /// Parsed numeric option (required).
-    pub fn req_parse<T: std::str::FromStr>(&self, key: &str, expected: &'static str) -> Result<T, ArgError> {
+    pub fn req_parse<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
         let raw = self.req(key)?;
         raw.parse().map_err(|_| ArgError::BadValue {
             key: key.to_string(),

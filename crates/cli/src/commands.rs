@@ -3,8 +3,8 @@
 use crate::args::Args;
 use pardec_core::diameter::Decomposition;
 use pardec_core::{
-    approximate_diameter, cluster, cluster2, gonzalez, kcenter, mpx, ClusterParams,
-    Clustering, DiameterParams, DistanceOracle,
+    approximate_diameter, cluster, cluster2, gonzalez, kcenter, mpx, ClusterParams, Clustering,
+    DiameterParams, DistanceOracle,
 };
 use pardec_graph::{diameter, generators, io, stats, CsrGraph, NodeId};
 use std::error::Error;
@@ -162,7 +162,11 @@ fn cmd_cluster(args: &Args) -> CmdResult {
         sizes.iter().max().unwrap_or(&0)
     );
     let q = clustering.quotient(&g);
-    println!("quotient      {} nodes / {} edges", q.num_nodes(), q.num_edges());
+    println!(
+        "quotient      {} nodes / {} edges",
+        q.num_nodes(),
+        q.num_edges()
+    );
     if let Ok(path) = args.req("labels") {
         write_labels(path, &clustering)?;
         println!("labels        written to {path}");
@@ -209,8 +213,21 @@ fn cmd_kcenter(args: &Args) -> CmdResult {
     };
     println!("centers  {}", result.centers.len());
     println!("radius   {}", result.radius);
-    let preview: Vec<String> = result.centers.iter().take(16).map(|c| c.to_string()).collect();
-    println!("ids      {}{}", preview.join(","), if result.centers.len() > 16 { ",…" } else { "" });
+    let preview: Vec<String> = result
+        .centers
+        .iter()
+        .take(16)
+        .map(|c| c.to_string())
+        .collect();
+    println!(
+        "ids      {}{}",
+        preview.join(","),
+        if result.centers.len() > 16 {
+            ",…"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 
@@ -331,18 +348,9 @@ mod tests {
             "generate --family mesh --rows 3 --cols 3 --out {path}"
         )))
         .unwrap();
-        assert!(dispatch(&args(&format!(
-            "cluster --graph {path} --algorithm nosuch"
-        )))
-        .is_err());
-        assert!(dispatch(&args(&format!(
-            "oracle --graph {path} --queries 0-1"
-        )))
-        .is_err());
-        assert!(dispatch(&args(&format!(
-            "oracle --graph {path} --queries 0:999"
-        )))
-        .is_err());
+        assert!(dispatch(&args(&format!("cluster --graph {path} --algorithm nosuch"))).is_err());
+        assert!(dispatch(&args(&format!("oracle --graph {path} --queries 0-1"))).is_err());
+        assert!(dispatch(&args(&format!("oracle --graph {path} --queries 0:999"))).is_err());
         // Disconnected k-center infeasibility surfaces as an error.
         assert!(dispatch(&args(&format!("kcenter --graph {path} --k 0"))).is_err());
         let _ = std::fs::remove_file(path);

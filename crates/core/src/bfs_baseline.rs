@@ -70,8 +70,16 @@ mod tests {
             let delta = apsp_diameter(&g);
             for seed in 0..3 {
                 let e = bfs_diameter(&g, seed);
-                assert!(e.lower_bound <= delta, "{name}: lb {} > Δ {delta}", e.lower_bound);
-                assert!(e.upper_bound >= delta, "{name}: ub {} < Δ {delta}", e.upper_bound);
+                assert!(
+                    e.lower_bound <= delta,
+                    "{name}: lb {} > Δ {delta}",
+                    e.lower_bound
+                );
+                assert!(
+                    e.upper_bound >= delta,
+                    "{name}: ub {} < Δ {delta}",
+                    e.upper_bound
+                );
             }
         }
     }

@@ -105,15 +105,16 @@ impl Clustering {
             let d = self.dist_to_center[v as usize];
             if d == 0 {
                 if self.centers[self.assignment[v as usize] as usize] != v {
-                    return Err(format!("node {v} at distance 0 is not its cluster's center"));
+                    return Err(format!(
+                        "node {v} at distance 0 is not its cluster's center"
+                    ));
                 }
                 continue;
             }
             let c = self.assignment[v as usize];
-            let ok = g
-                .neighbors(v)
-                .iter()
-                .any(|&u| self.assignment[u as usize] == c && self.dist_to_center[u as usize] == d - 1);
+            let ok = g.neighbors(v).iter().any(|&u| {
+                self.assignment[u as usize] == c && self.dist_to_center[u as usize] == d - 1
+            });
             if !ok {
                 return Err(format!(
                     "node {v} (cluster {c}, dist {d}) lacks an in-cluster predecessor"

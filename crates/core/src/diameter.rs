@@ -16,8 +16,8 @@
 use crate::cluster::{cluster, ClusterParams};
 use crate::cluster2::cluster2;
 use crate::clustering::Clustering;
-use pardec_graph::CsrGraph;
 use pardec_graph::diameter as exact;
+use pardec_graph::CsrGraph;
 
 /// Which decomposition feeds the quotient construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,16 +166,8 @@ mod tests {
         let delta = exact::exact_diameter(g) as u64;
         let a = approximate_diameter(g, params);
         a.clustering.validate(g).unwrap();
-        assert!(
-            a.lower_bound <= delta,
-            "Δ_C {} > Δ {delta}",
-            a.lower_bound
-        );
-        assert!(
-            a.upper_bound >= delta,
-            "Δ′ {} < Δ {delta}",
-            a.upper_bound
-        );
+        assert!(a.lower_bound <= delta, "Δ_C {} > Δ {delta}", a.lower_bound);
+        assert!(a.upper_bound >= delta, "Δ′ {} < Δ {delta}", a.upper_bound);
         if let Some(w) = a.upper_bound_weighted {
             assert!(w >= delta, "Δ″ {w} < Δ {delta}");
             assert!(w <= a.upper_bound, "Δ″ {w} > Δ′ {}", a.upper_bound);

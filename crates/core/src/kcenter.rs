@@ -29,7 +29,10 @@ impl std::fmt::Display for KCenterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KCenterError::TooFewCenters { k, components } => {
-                write!(f, "k = {k} below the number of connected components {components}")
+                write!(
+                    f,
+                    "k = {k} below the number of connected components {components}"
+                )
             }
             KCenterError::Degenerate => write!(f, "empty graph or k = 0"),
         }
@@ -139,7 +142,11 @@ pub fn kcenter(g: &CsrGraph, k: usize, seed: u64) -> Result<KCenterResult, KCent
         let q = clustering.quotient(g);
         let group_of = forest_partition(&q, k, h);
         // One representative center per group: the first member cluster's.
-        let num_groups = group_of.iter().map(|&gid| gid as usize + 1).max().unwrap_or(0);
+        let num_groups = group_of
+            .iter()
+            .map(|&gid| gid as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut rep: Vec<NodeId> = vec![INVALID_NODE; num_groups];
         for (c, &gid) in group_of.iter().enumerate() {
             let gid = gid as usize;
@@ -182,12 +189,7 @@ fn forest_partition(q: &CsrGraph, k: usize, h: usize) -> Vec<NodeId> {
 
     // Cuts flood only along tree edges, through still-unassigned
     // descendants — quotient non-tree edges must not leak between subtrees.
-    fn cut(
-        start: NodeId,
-        gid: NodeId,
-        children: &[Vec<NodeId>],
-        group_of: &mut [NodeId],
-    ) {
+    fn cut(start: NodeId, gid: NodeId, children: &[Vec<NodeId>], group_of: &mut [NodeId]) {
         let mut stack = vec![start];
         group_of[start as usize] = gid;
         while let Some(u) = stack.pop() {
@@ -307,7 +309,10 @@ mod tests {
         let g = generators::disjoint_union(&generators::path(5), &generators::path(5));
         assert_eq!(
             kcenter(&g, 1, 0),
-            Err(KCenterError::TooFewCenters { k: 1, components: 2 })
+            Err(KCenterError::TooFewCenters {
+                k: 1,
+                components: 2
+            })
         );
         assert_eq!(kcenter(&g, 0, 0), Err(KCenterError::Degenerate));
         assert_eq!(

@@ -325,7 +325,10 @@ mod tests {
             sm.clustering.num_clusters() as f64,
             mr.clustering.num_clusters() as f64,
         );
-        assert!(a / b < 3.0 && b / a < 3.0, "cluster counts diverge: {a} vs {b}");
+        assert!(
+            a / b < 3.0 && b / a < 3.0,
+            "cluster counts diverge: {a} vs {b}"
+        );
         let (ra, rb) = (sm.clustering.max_radius(), mr.clustering.max_radius());
         assert!(
             ra.abs_diff(rb) <= ra.max(rb).max(4),
@@ -388,8 +391,7 @@ mod tests {
             assert!(it.growth_steps <= budget, "batch exceeded budget");
         }
         // Lemma 2 radius bound.
-        let bound =
-            (2.0 * r_alg.max(1) as f64 * (g.num_nodes() as f64).log2()).ceil() as u32;
+        let bound = (2.0 * r_alg.max(1) as f64 * (g.num_nodes() as f64).log2()).ceil() as u32;
         assert!(
             r.clustering.max_radius() <= bound,
             "R_ALG2 {} > {bound}",

@@ -101,8 +101,8 @@ impl DistanceOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pardec_graph::traversal::bfs;
     use pardec_graph::generators;
+    use pardec_graph::traversal::bfs;
 
     fn check_oracle(g: &CsrGraph, oracle: &DistanceOracle, sources: &[NodeId]) {
         for &u in sources {
@@ -146,7 +146,10 @@ mod tests {
         let far = (g.num_nodes() - 1) as NodeId;
         let q = oracle.query(0, far);
         let t = truth[far as usize] as u64;
-        assert!(q <= 6 * t + 4 * oracle.radius() as u64, "stretch too big: {q} vs {t}");
+        assert!(
+            q <= 6 * t + 4 * oracle.radius() as u64,
+            "stretch too big: {q} vs {t}"
+        );
     }
 
     #[test]

@@ -137,11 +137,11 @@ pub fn weighted_cluster(g: &WeightedGraph, params: &ClusterParams) -> WeightedCl
     let mut batches = 0usize;
 
     let activate = |rng: &mut StdRng,
-                        assignment: &mut [NodeId],
-                        centers: &mut Vec<NodeId>,
-                        heap: &mut BinaryHeap<Reverse<Event>>,
-                        covered: &mut usize,
-                        now: u64| {
+                    assignment: &mut [NodeId],
+                    centers: &mut Vec<NodeId>,
+                    heap: &mut BinaryHeap<Reverse<Event>>,
+                    covered: &mut usize,
+                    now: u64| {
         let uncovered = n - *covered;
         if uncovered == 0 {
             return;
@@ -178,7 +178,14 @@ pub fn weighted_cluster(g: &WeightedGraph, params: &ClusterParams) -> WeightedCl
     };
 
     if (n as f64) >= threshold {
-        activate(&mut rng, &mut assignment, &mut centers, &mut heap, &mut covered, now);
+        activate(
+            &mut rng,
+            &mut assignment,
+            &mut centers,
+            &mut heap,
+            &mut covered,
+            now,
+        );
         batches = 1;
         batch_uncovered = n;
     }
@@ -188,7 +195,9 @@ pub fn weighted_cluster(g: &WeightedGraph, params: &ClusterParams) -> WeightedCl
         // Pop and settle one event.
         let Reverse((t, v, owner, wd, h)) = heap.pop().expect("peeked");
         let fresh = assignment[v as usize] == INVALID_NODE
-            || (assignment[v as usize] == owner && weighted_dist[v as usize] == wd && hops[v as usize] == h);
+            || (assignment[v as usize] == owner
+                && weighted_dist[v as usize] == wd
+                && hops[v as usize] == h);
         if assignment[v as usize] == INVALID_NODE {
             assignment[v as usize] = owner;
             weighted_dist[v as usize] = wd;
@@ -209,7 +218,14 @@ pub fn weighted_cluster(g: &WeightedGraph, params: &ClusterParams) -> WeightedCl
             && 2 * uncovered <= batch_uncovered
             && batches < max_batches
         {
-            activate(&mut rng, &mut assignment, &mut centers, &mut heap, &mut covered, now);
+            activate(
+                &mut rng,
+                &mut assignment,
+                &mut centers,
+                &mut heap,
+                &mut covered,
+                now,
+            );
             batches += 1;
             batch_uncovered = uncovered;
         }

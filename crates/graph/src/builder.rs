@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn self_loops_removed() {
-        let g = GraphBuilder::new(2).add_edges([(0, 0), (1, 1), (0, 1)]).build();
+        let g = GraphBuilder::new(2)
+            .add_edges([(0, 0), (1, 1), (0, 1)])
+            .build();
         assert_eq!(g.num_edges(), 1);
         assert!(!g.has_edge(0, 0));
     }

@@ -48,7 +48,9 @@ pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
     for &l in &labels {
         sizes[l as usize] += 1;
     }
-    let best = (0..count).max_by_key(|&c| (sizes[c], std::cmp::Reverse(c))).unwrap() as NodeId;
+    let best = (0..count)
+        .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+        .unwrap() as NodeId;
 
     let mut new_id = vec![INVALID_NODE; n];
     let mut orig_id = Vec::with_capacity(sizes[best as usize]);

@@ -179,7 +179,11 @@ mod tests {
         let s = double_sweep(&g, 13);
         assert_eq!(s.lower_bound, 29);
         // Midpoint of a path is its centre.
-        assert!((s.midpoint as i64 - 14).abs() <= 1, "midpoint {}", s.midpoint);
+        assert!(
+            (s.midpoint as i64 - 14).abs() <= 1,
+            "midpoint {}",
+            s.midpoint
+        );
     }
 
     #[test]

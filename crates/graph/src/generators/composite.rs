@@ -34,7 +34,10 @@ pub fn connect(g: &CsrGraph, extra: &[(NodeId, NodeId)]) -> CsrGraph {
 /// original node count. Raises the diameter by up to `chain_len` without
 /// otherwise altering the base graph.
 pub fn append_chain(g: &CsrGraph, attach: NodeId, chain_len: usize) -> CsrGraph {
-    assert!((attach as usize) < g.num_nodes(), "attach node out of range");
+    assert!(
+        (attach as usize) < g.num_nodes(),
+        "attach node out of range"
+    );
     let n = g.num_nodes();
     let mut builder = GraphBuilder::with_capacity(n + chain_len, g.num_edges() + chain_len);
     for (u, v) in g.edges() {
@@ -111,6 +114,9 @@ mod tests {
         // Expander interior stays shallow (tip dominates its eccentricity).
         let bfs_inside = traversal::bfs(&g, 1);
         let max_in_expander = (0..500).map(|v| bfs_inside.dist[v]).max().unwrap();
-        assert!(max_in_expander <= 15, "expander part too deep: {max_in_expander}");
+        assert!(
+            max_in_expander <= 15,
+            "expander part too deep: {max_in_expander}"
+        );
     }
 }

@@ -22,7 +22,8 @@ pub fn preferential_attachment(n: usize, m_attach: usize, seed: u64) -> CsrGraph
     assert!(n > m_attach, "need n > m_attach");
     let mut rng = StdRng::seed_from_u64(seed);
     let seed_nodes = m_attach + 1;
-    let mut b = GraphBuilder::with_capacity(n, seed_nodes * m_attach / 2 + (n - seed_nodes) * m_attach);
+    let mut b =
+        GraphBuilder::with_capacity(n, seed_nodes * m_attach / 2 + (n - seed_nodes) * m_attach);
     // Endpoint multiset: node u appears deg(u) times; sampling uniformly from
     // it is exactly degree-proportional selection.
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);

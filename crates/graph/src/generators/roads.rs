@@ -99,7 +99,10 @@ mod tests {
         // (rows + cols - 2): the spanning tree stretches shortest paths.
         let g = road_network(50, 50, 0.15, 23);
         let ecc = traversal::eccentricity(&g, 0);
-        assert!(ecc > 98, "eccentricity {ecc} not in the long-diameter regime");
+        assert!(
+            ecc > 98,
+            "eccentricity {ecc} not in the long-diameter regime"
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ pub fn read_edge_list(r: &mut impl BufRead) -> io::Result<CsrGraph> {
 pub fn save_binary(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
     let offsets = g.raw_offsets();
     let targets = g.raw_targets();
-    let mut buf =
-        Vec::with_capacity(MAGIC.len() + 16 + offsets.len() * 8 + targets.len() * 4);
+    let mut buf = Vec::with_capacity(MAGIC.len() + 16 + offsets.len() * 8 + targets.len() * 4);
     buf.put_slice(MAGIC);
     buf.put_u64_le(g.num_nodes() as u64);
     buf.put_u64_le(targets.len() as u64);

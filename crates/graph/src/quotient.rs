@@ -48,7 +48,11 @@ pub fn weighted_quotient(
     num_clusters: usize,
 ) -> WeightedGraph {
     assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
-    assert_eq!(dist_to_center.len(), g.num_nodes(), "distance array size mismatch");
+    assert_eq!(
+        dist_to_center.len(),
+        g.num_nodes(),
+        "distance array size mismatch"
+    );
     let mut best: HashMap<(NodeId, NodeId), u64> = HashMap::new();
     for (u, v) in g.edges() {
         let (cu, cv) = (labels[u as usize], labels[v as usize]);
@@ -65,8 +69,7 @@ pub fn weighted_quotient(
             .and_modify(|cur| *cur = (*cur).min(w))
             .or_insert(w);
     }
-    let edges: Vec<(NodeId, NodeId, u64)> =
-        best.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    let edges: Vec<(NodeId, NodeId, u64)> = best.into_iter().map(|((a, b), w)| (a, b, w)).collect();
     WeightedGraph::from_edges(num_clusters, &edges)
 }
 

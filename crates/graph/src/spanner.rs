@@ -219,10 +219,7 @@ mod tests {
 
     #[test]
     fn spanner_preserves_connectivity_components() {
-        let g = generators::disjoint_union(
-            &generators::gnm(100, 600, 2),
-            &generators::mesh(8, 8),
-        );
+        let g = generators::disjoint_union(&generators::gnm(100, 600, 2), &generators::mesh(8, 8));
         let s = baswana_sen(&g, 2, 3);
         let (orig_cc, orig_labels) = components::connected_components(&g);
         let (span_cc, span_labels) = components::connected_components(&s.graph);

@@ -351,7 +351,9 @@ mod tests {
 
     #[test]
     fn direction_optimizing_disconnected() {
-        let g = crate::GraphBuilder::new(5).add_edges([(0, 1), (2, 3)]).build();
+        let g = crate::GraphBuilder::new(5)
+            .add_edges([(0, 1), (2, 3)])
+            .build();
         let r = bfs_direction_optimizing(&g, 0);
         assert_eq!(r.dist[1], 1);
         assert_eq!(r.dist[2], INFINITE_DIST);

@@ -163,10 +163,7 @@ impl WeightedGraph {
                 if v == u {
                     return Err(format!("self-loop at {u}"));
                 }
-                let Some(back) = self
-                    .neighbors(v)
-                    .find(|&(t, _)| t == u)
-                else {
+                let Some(back) = self.neighbors(v).find(|&(t, _)| t == u) else {
                     return Err(format!("missing reverse arc ({v}, {u})"));
                 };
                 if back.1 != w {
@@ -185,10 +182,7 @@ mod tests {
 
     fn diamond() -> WeightedGraph {
         // 0 -1- 1 -1- 3, and a heavy shortcut 0 -5- 3, plus 0 -1- 2 -1- 3
-        WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 1), (1, 3, 1), (0, 3, 5), (0, 2, 1), (2, 3, 1)],
-        )
+        WeightedGraph::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 3, 5), (0, 2, 1), (2, 3, 1)])
     }
 
     #[test]

@@ -257,8 +257,7 @@ mod tests {
     }
 
     fn path_matrix(n: usize) -> MinPlusMatrix {
-        let edges: Vec<(u32, u32, u64)> =
-            (1..n as u32).map(|v| (v - 1, v, 1)).collect();
+        let edges: Vec<(u32, u32, u64)> = (1..n as u32).map(|v| (v - 1, v, 1)).collect();
         MinPlusMatrix::from_edges(n, &edges)
     }
 
@@ -276,7 +275,14 @@ mod tests {
         let mut eng = engine();
         let a = MinPlusMatrix::from_edges(
             6,
-            &[(0, 1, 3), (1, 2, 4), (2, 3, 1), (3, 4, 7), (4, 5, 2), (0, 5, 20)],
+            &[
+                (0, 1, 3),
+                (1, 2, 4),
+                (2, 3, 1),
+                (3, 4, 7),
+                (4, 5, 2),
+                (0, 5, 20),
+            ],
         );
         for tile in [1usize, 2, 3, 4, 6, 8] {
             let mr = mr_min_plus_multiply(&mut eng, &a, &a, tile).unwrap();
@@ -320,7 +326,10 @@ mod tests {
         let a = MinPlusMatrix::identity(0);
         assert_eq!(mr_apsp_by_squaring(&mut eng, &a, 2).unwrap().dim(), 0);
         let a = MinPlusMatrix::identity(1);
-        assert_eq!(mr_apsp_by_squaring(&mut eng, &a, 2).unwrap().max_finite(), 0);
+        assert_eq!(
+            mr_apsp_by_squaring(&mut eng, &a, 2).unwrap().max_finite(),
+            0
+        );
     }
 
     #[test]

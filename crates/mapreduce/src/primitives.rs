@@ -78,7 +78,10 @@ where
 
     // Round 3 — route, locally sort, emit (global rank, value).
     let routed = eng.round_labelled(
-        items.into_iter().map(|x| (bucket_of(&x), x)).collect::<Vec<_>>(),
+        items
+            .into_iter()
+            .map(|x| (bucket_of(&x), x))
+            .collect::<Vec<_>>(),
         "sort:route",
         |&b, mut vs: Vec<T>| {
             vs.sort();
@@ -205,7 +208,9 @@ mod tests {
     #[test]
     fn sort_matches_sequential() {
         let mut eng = engine();
-        let items: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 10007) as u32).collect();
+        let items: Vec<u32> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 10007) as u32)
+            .collect();
         let mut expect = items.clone();
         expect.sort();
         let got = mr_sort(&mut eng, items, 42).unwrap();
@@ -235,7 +240,9 @@ mod tests {
     fn sort_balances_load() {
         // With random input, no reducer should see the whole input.
         let mut eng = engine();
-        let items: Vec<u64> = (0..20000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let items: Vec<u64> = (0..20000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let _ = mr_sort(&mut eng, items, 3).unwrap();
         let route_round = eng
             .stats()

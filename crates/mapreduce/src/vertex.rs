@@ -123,10 +123,7 @@ where
             .filter(|&v| outbox[v as usize].is_some())
             .collect();
         let senders = senders_list.len();
-        let messages: u64 = senders_list
-            .par_iter()
-            .map(|&v| g.degree(v) as u64)
-            .sum();
+        let messages: u64 = senders_list.par_iter().map(|&v| g.degree(v) as u64).sum();
 
         // Phase 1 (scatter): per sender-chunk buffers bucketed by destination
         // partition, so phase 2 can merge without locks.

@@ -79,11 +79,7 @@ impl DistinctCounter for HllSketch {
 
     fn estimate(&self) -> f64 {
         let m = self.num_registers() as f64;
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = Self::alpha(self.num_registers()) * m * m / sum;
         if raw <= 2.5 * m {
             // Small-range correction: linear counting on empty registers.

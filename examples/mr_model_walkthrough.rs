@@ -25,7 +25,9 @@ fn main() {
     );
 
     // --- 2. Fact 1 primitives -------------------------------------------------
-    let items: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let items: Vec<u64> = (0..50_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     let sorted = mr_sort(&mut eng, items, 7).unwrap();
     assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     let sums = mr_prefix_sum(&mut eng, vec![1; 10_000]).unwrap();

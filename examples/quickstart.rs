@@ -11,11 +11,7 @@ fn main() {
     // The paper's mesh dataset at a laptop-friendly scale: 200×200 grid,
     // 40,000 nodes, diameter 398, doubling dimension 2.
     let g = generators::mesh(200, 200);
-    println!(
-        "graph: {} nodes, {} edges",
-        g.num_nodes(),
-        g.num_edges()
-    );
+    println!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
 
     // --- CLUSTER(τ): the paper's Algorithm 1 --------------------------------
     let result = cluster(&g, &ClusterParams::new(16, 42));

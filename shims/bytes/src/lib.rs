@@ -1,0 +1,84 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes) crate:
+//! the `Buf`/`BufMut` subset pardec's binary graph snapshot format uses —
+//! `&[u8]` as a consuming read cursor, `Vec<u8>` as an appending writer.
+//! Panics on under-length reads, matching the real crate's contract.
+
+/// Read side: a cursor over bytes. Implemented for `&[u8]`, which advances
+/// by re-slicing.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Write side: an append-only sink. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut out = Vec::new();
+        out.put_slice(b"hdr");
+        out.put_u64_le(0xdead_beef_cafe_f00d);
+        out.put_u32_le(42);
+
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.remaining(), 3 + 8 + 4);
+        cur.advance(3);
+        assert_eq!(cur.get_u64_le(), 0xdead_beef_cafe_f00d);
+        assert_eq!(cur.get_u32_le(), 42);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut cur: &[u8] = &[1, 2, 3];
+        let _ = cur.get_u64_le();
+    }
+}

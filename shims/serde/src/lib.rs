@@ -1,0 +1,32 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! `Serialize`/`Deserialize` are **marker traits** here: enough for
+//! `#[derive(Serialize, Deserialize)]` and trait bounds to compile, with no
+//! data-model plumbing behind them. Nothing in this workspace serializes
+//! through serde yet (the sketches only advertise serializability); when a
+//! real wire format lands, swap the real crate in via `Cargo.toml` — call
+//! sites are source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+// NOTE: the derive macros expand to `impl ::serde::... for T`, which only
+// resolves from *dependent* crates; they are exercised by pardec-sketch's
+// `FmSketch`/`HllSketch` derives and its serde smoke test.
+
+#[cfg(test)]
+mod tests {
+    struct Probe;
+    impl crate::Serialize for Probe {}
+    impl<'de> crate::Deserialize<'de> for Probe {}
+
+    fn assert_bounds<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+
+    #[test]
+    fn marker_traits_are_implementable() {
+        assert_bounds::<Probe>();
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde_derive`. The shim `serde` crate's
+//! `Serialize`/`Deserialize` are marker traits, so the derives only need to
+//! emit `impl` blocks for the deriven type. Parsed by hand (no `syn`/`quote`
+//! available offline): the type name is the identifier following the
+//! `struct`/`enum` keyword. Generic types are unsupported — the sketch types
+//! that derive these are concrete.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: could not find a struct/enum name in the input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

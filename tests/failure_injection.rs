@@ -53,7 +53,9 @@ fn edge_list_parser_rejects_malformed_lines() {
 fn mr_hard_budget_aborts_and_soft_budget_records() {
     let skewed: Vec<(u8, u8)> = vec![(0, 0); 64];
     let mut hard = MrEngine::new(MrConfig::with_partitions(2).with_local_memory(8));
-    assert!(hard.round(skewed.clone(), |&k, vs| vec![(k, vs.len())]).is_err());
+    assert!(hard
+        .round(skewed.clone(), |&k, vs| vec![(k, vs.len())])
+        .is_err());
 
     let mut soft = MrEngine::new(MrConfig::with_partitions(2).with_soft_local_memory(8));
     let out = soft.round(skewed, |&k, vs| vec![(k, vs.len())]).unwrap();
@@ -65,7 +67,9 @@ fn mr_hard_budget_aborts_and_soft_budget_records() {
 #[test]
 fn mr_sort_respects_hard_budget_on_uniform_data() {
     // A generous budget on well-spread data must NOT trip.
-    let items: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+    let items: Vec<u64> = (0..10_000u64)
+        .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D))
+        .collect();
     let mut eng = MrEngine::new(MrConfig::with_partitions(16).with_local_memory(4_000));
     let sorted = pardec::mr::primitives::mr_sort(&mut eng, items.clone(), 1).unwrap();
     let mut expect = items;

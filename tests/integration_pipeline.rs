@@ -13,7 +13,10 @@ fn diameter_sandwich_across_families() {
         ("mesh", generators::mesh(25, 30)),
         ("torus", generators::torus(20, 20)),
         ("road", generators::road_network(25, 25, 0.4, 3)),
-        ("social", generators::windowed_preferential_attachment(3000, 5, 0.05, 4)),
+        (
+            "social",
+            generators::windowed_preferential_attachment(3000, 5, 0.05, 4),
+        ),
         ("lollipop", generators::lollipop(600, 4, 150, 5)),
         ("gnm-lcc", {
             let (lc, _) = components::largest_component(&generators::gnm(800, 1200, 6));
@@ -27,8 +30,14 @@ fn diameter_sandwich_across_families() {
                 let mut p = DiameterParams::new(4, seed);
                 p.decomposition = decomposition;
                 let a = approximate_diameter(g, &p);
-                a.clustering.validate(g).unwrap_or_else(|e| panic!("{name}: {e}"));
-                assert!(a.lower_bound <= delta, "{name}: lb {} > Δ {delta}", a.lower_bound);
+                a.clustering
+                    .validate(g)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert!(
+                    a.lower_bound <= delta,
+                    "{name}: lb {} > Δ {delta}",
+                    a.lower_bound
+                );
                 let w = a.upper_bound_weighted.expect("weighted on");
                 assert!(w >= delta, "{name}: Δ″ {w} < Δ {delta}");
                 assert!(w <= a.upper_bound, "{name}: Δ″ {w} > Δ′ {}", a.upper_bound);
@@ -109,10 +118,7 @@ fn sketch_counts_reachable_set() {
         acc.merge(&s);
     }
     let est = acc.estimate();
-    assert!(
-        (72.0..288.0).contains(&est),
-        "estimate {est} for true 144"
-    );
+    assert!((72.0..288.0).contains(&est), "estimate {est} for true 144");
 }
 
 /// Graph I/O round trip through the facade: a generated workload survives

@@ -16,8 +16,11 @@ fn connected_graph() -> impl Strategy<Value = CsrGraph> {
             components::largest_component(&g).0
         }),
         (4usize..12, 1u64..1000).prop_map(|(side, s)| generators::road_network(side, side, 0.4, s)),
-        (10usize..150, 1u64..1000)
-            .prop_map(|(n, s)| generators::preferential_attachment(n.max(4), 3.min(n - 1), s)),
+        (10usize..150, 1u64..1000).prop_map(|(n, s)| generators::preferential_attachment(
+            n.max(4),
+            3.min(n - 1),
+            s
+        )),
         (3usize..100).prop_map(generators::path),
         (3usize..60).prop_map(generators::cycle),
     ]

@@ -12,10 +12,13 @@ use proptest::prelude::*;
 fn small_graph() -> impl Strategy<Value = CsrGraph> {
     prop_oneof![
         (2usize..10, 2usize..10).prop_map(|(r, c)| generators::mesh(r, c)),
-        (10usize..120, 1u64..500).prop_map(|(n, s)| {
-            generators::gnm(n, (n * 2).min(n * (n - 1) / 2), s)
-        }),
-        (6usize..80, 1u64..500).prop_map(|(n, s)| generators::preferential_attachment(n.max(5), 4.min(n - 1), s)),
+        (10usize..120, 1u64..500)
+            .prop_map(|(n, s)| { generators::gnm(n, (n * 2).min(n * (n - 1) / 2), s) }),
+        (6usize..80, 1u64..500).prop_map(|(n, s)| generators::preferential_attachment(
+            n.max(5),
+            4.min(n - 1),
+            s
+        )),
     ]
 }
 
