@@ -1,0 +1,84 @@
+//! Thread-scaling bench: the same decomposition workload on explicit pools
+//! of 1, 2, and 4 workers, one JSON line per configuration, so the BENCH
+//! trajectory can track the runtime's speedup (and verify that results stay
+//! byte-identical while only the wall clock moves).
+//!
+//! ```text
+//! cargo bench -p pardec-bench --bench bench_parallel_scaling
+//! ```
+//!
+//! Scale with `--scale {ci,default,full}` or `PARDEC_SCALE`, like the table
+//! binaries. On a single-core machine the speedup hovers around 1.0× (the
+//! runtime's overhead is the interesting number there); the ≥ 1.5× @ 4
+//! threads target applies to multi-core runners.
+
+use pardec_bench::workloads::Scale;
+use pardec_bench::{scale_from_args, timed};
+use pardec_core::{cluster, ClusterParams};
+use pardec_graph::generators;
+
+const THREAD_CONFIGS: [usize; 3] = [1, 2, 4];
+const SEED: u64 = 7;
+
+fn main() {
+    let scale = scale_from_args();
+    let n = match scale {
+        Scale::Ci => 30_000,
+        Scale::Default => 120_000,
+        Scale::Full => 400_000,
+    };
+    // The paper's small-diameter regime: a heavy-tailed power-law graph, the
+    // workload whose per-round parallel maps dominate CLUSTER's runtime.
+    let g = generators::windowed_preferential_attachment(n, 8, 0.025, SEED);
+    let tau = (n / 1000).max(4);
+    let params = ClusterParams::new(tau, SEED);
+
+    let mut baseline_seconds = None;
+    let mut baseline_assignment = None;
+    for threads in THREAD_CONFIGS {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool construction cannot fail");
+        // One warm-up, then best-of-three to damp scheduler noise.
+        let _ = pool.install(|| cluster(&g, &params));
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..3 {
+            let (r, secs) = timed(|| pool.install(|| cluster(&g, &params)));
+            best = best.min(secs);
+            result = Some(r);
+        }
+        let assignment = result.expect("ran at least once").clustering.assignment;
+        let identical = match &baseline_assignment {
+            None => {
+                baseline_assignment = Some(assignment);
+                true
+            }
+            Some(base) => *base == assignment,
+        };
+        let speedup = match baseline_seconds {
+            None => {
+                baseline_seconds = Some(best);
+                1.0
+            }
+            Some(base) => base / best,
+        };
+        println!(
+            "{{\"bench\":\"parallel_scaling\",\"workload\":\"powerlaw-social\",\
+             \"nodes\":{},\"edges\":{},\"tau\":{},\"threads\":{},\
+             \"seconds\":{:.6},\"speedup_vs_1\":{:.3},\"identical_output\":{}}}",
+            g.num_nodes(),
+            g.num_edges(),
+            tau,
+            threads,
+            best,
+            speedup,
+            identical
+        );
+        assert!(
+            identical,
+            "decomposition output diverged at {threads} threads"
+        );
+    }
+}

@@ -73,6 +73,7 @@ const VALUED_KEYS: &[&str] = &[
     "queries",
     "trials",
     "edges",
+    "threads",
 ];
 
 impl Args {
@@ -152,6 +153,23 @@ impl Args {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// The `--threads` option: requested worker count for the global pool,
+    /// `None` when unspecified (pool size then follows `RAYON_NUM_THREADS`,
+    /// falling back to the available parallelism).
+    pub fn threads(&self) -> Result<Option<usize>, ArgError> {
+        match self.options.get("threads") {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(ArgError::BadValue {
+                    key: "threads".to_string(),
+                    value: raw.to_string(),
+                    expected: "a positive integer",
+                }),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +219,26 @@ mod tests {
             parse("stats extra-positional"),
             Err(ArgError::UnknownOptions(_))
         ));
+    }
+
+    #[test]
+    fn threads_option() {
+        assert_eq!(parse("stats --graph g").unwrap().threads().unwrap(), None);
+        assert_eq!(
+            parse("stats --graph g --threads 4").unwrap().threads(),
+            Ok(Some(4))
+        );
+        for bad in ["0", "-2", "many"] {
+            let a = parse(&format!("stats --graph g --threads {bad}")).unwrap();
+            assert!(
+                matches!(a.threads(), Err(ArgError::BadValue { .. })),
+                "--threads {bad} should be rejected"
+            );
+        }
+        assert_eq!(
+            parse("stats --threads").unwrap_err(),
+            ArgError::MissingValue("threads".into())
+        );
     }
 
     #[test]

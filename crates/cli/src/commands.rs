@@ -15,6 +15,10 @@ use std::io::{BufReader, BufWriter, Write};
 pub const USAGE: &str = "\
 usage: pardec <command> [options]
 
+global options:
+  --threads N   size of the worker pool used by all parallel phases
+                (default: RAYON_NUM_THREADS, else all available cores)
+
 commands:
   generate  --family mesh|torus|road|social|ba|gnm|lollipop [--rows R --cols C]
             [--nodes N --attach M --window F --extra-prob P --degree D --edges M]
@@ -26,6 +30,23 @@ commands:
   kcenter   --graph FILE --k K [--seed S] [--gonzalez]
   oracle    --graph FILE [--tau T] [--seed S] --queries u:v[,u:v...]
   help";
+
+/// Builds the global thread pool from `--threads` before any command runs.
+///
+/// Must be called ahead of the first parallel operation: the global pool is
+/// created lazily on first use, after which its size can no longer change
+/// (`ThreadPoolBuilder::build_global` then fails, which this surfaces as an
+/// error). All decomposition, diameter, and sketch outputs are byte-identical
+/// at any thread count — `--threads` trades wall-clock time only.
+pub fn init_thread_pool(args: &Args) -> CmdResult {
+    let Some(n) = args.threads()? else {
+        return Ok(());
+    };
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .map_err(|e| format!("--threads {n}: {e}").into())
+}
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -359,5 +380,21 @@ mod tests {
     #[test]
     fn help_prints() {
         dispatch(&args("help")).unwrap();
+        assert!(USAGE.contains("--threads"));
+    }
+
+    #[test]
+    fn init_thread_pool_sizes_the_global_pool() {
+        // Without --threads: a no-op, always fine.
+        init_thread_pool(&args("help")).unwrap();
+        // With --threads: either this is the first pool use in the test
+        // process (pool adopts the size), or the pool already exists and the
+        // error explains why the size cannot change.
+        match init_thread_pool(&args("help --threads 2")) {
+            Ok(()) => assert_eq!(rayon::current_num_threads(), 2),
+            Err(e) => assert!(e.to_string().contains("already"), "{e}"),
+        }
+        // Invalid counts are rejected up front.
+        assert!(init_thread_pool(&args("help --threads 0")).is_err());
     }
 }

@@ -12,7 +12,8 @@
 //! ```
 //!
 //! Graphs are SNAP-style text edge lists (`pardec_graph::io`). All commands
-//! are seeded (`--seed`, default 42) and reproducible.
+//! are seeded (`--seed`, default 42) and reproducible: results are
+//! byte-identical regardless of `--threads` / `RAYON_NUM_THREADS`.
 
 mod args;
 mod commands;
@@ -30,6 +31,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The pool must be sized before the first parallel call of any command.
+    if let Err(e) = commands::init_thread_pool(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

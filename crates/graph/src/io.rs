@@ -113,7 +113,14 @@ pub fn load_binary(bytes: &[u8]) -> io::Result<CsrGraph> {
     }
     let n = buf.get_u64_le() as usize;
     let arcs = buf.get_u64_le() as usize;
-    if buf.remaining() != (n + 1) * 8 + arcs * 4 {
+    // Checked arithmetic: a hostile header must produce an error, not an
+    // overflow panic (debug) or a bogus comparison (release).
+    let expected = n
+        .checked_add(1)
+        .and_then(|o| o.checked_mul(8))
+        .and_then(|o| o.checked_add(arcs.checked_mul(4)?))
+        .ok_or_else(|| err("header sizes overflow"))?;
+    if buf.remaining() != expected {
         return Err(err("length mismatch"));
     }
     let mut offsets = Vec::with_capacity(n + 1);
@@ -203,5 +210,77 @@ mod tests {
         let mut buf = Vec::new();
         save_binary(&g, &mut buf).unwrap();
         assert_eq!(load_binary(&buf).unwrap(), g);
+    }
+
+    /// Every proper prefix of a valid snapshot is an `io::Error`, never a
+    /// panic — the promise callers rely on when reading partial files.
+    #[test]
+    fn binary_every_truncation_is_an_error() {
+        let g = generators::mesh(5, 4);
+        let mut buf = Vec::new();
+        save_binary(&g, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let res = load_binary(&buf[..cut]);
+            assert!(res.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn binary_hostile_header_sizes_error_without_overflow() {
+        // Valid magic, then node/arc counts chosen so the naive size
+        // computation (n + 1) * 8 + arcs * 4 would overflow usize.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // arcs
+        assert!(load_binary(&buf).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary graphs from the workspace families (mirrors the root
+        /// proptests' corpus, but kept local so the format property lives
+        /// next to the format).
+        fn any_graph() -> impl Strategy<Value = CsrGraph> {
+            prop_oneof![
+                (1usize..10, 1usize..10).prop_map(|(r, c)| generators::mesh(r, c)),
+                (0usize..80, 0usize..160, 0u64..1000).prop_map(|(n, m, s)| {
+                    generators::gnm(n, m.min(n.saturating_sub(1) * n / 2), s)
+                }),
+                (2usize..60, 1u64..1000).prop_map(|(n, s)| {
+                    generators::preferential_attachment(n.max(4), 3.min(n - 1), s)
+                }),
+                (0usize..50).prop_map(CsrGraph::empty),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// PDEC1 write → read is the identity on every graph.
+            #[test]
+            fn binary_snapshot_round_trips(g in any_graph()) {
+                let mut buf = Vec::new();
+                save_binary(&g, &mut buf).unwrap();
+                let g2 = load_binary(&buf).unwrap();
+                prop_assert_eq!(&g, &g2);
+                // And the re-serialization is byte-identical (canonical form).
+                let mut buf2 = Vec::new();
+                save_binary(&g2, &mut buf2).unwrap();
+                prop_assert_eq!(buf, buf2);
+            }
+
+            /// Truncating a valid snapshot anywhere yields an error.
+            #[test]
+            fn binary_truncation_errors(g in any_graph(), frac in 0.0f64..1.0) {
+                let mut buf = Vec::new();
+                save_binary(&g, &mut buf).unwrap();
+                let cut = ((buf.len() as f64) * frac) as usize;
+                prop_assume!(cut < buf.len());
+                prop_assert!(load_binary(&buf[..cut]).is_err());
+            }
+        }
     }
 }

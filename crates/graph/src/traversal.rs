@@ -142,6 +142,11 @@ pub fn bfs_multi(g: &CsrGraph, sources: &[NodeId]) -> (BfsResult, Vec<NodeId>) {
 /// Each level expands the whole frontier in parallel; a node is claimed with
 /// a compare-and-swap on its distance slot, so every node is pushed to the
 /// next frontier exactly once. Distances are identical to sequential BFS.
+///
+/// Under a multi-threaded pool, *which* expansion wins the CAS — and hence a
+/// node's position within the intermediate frontier vector — can vary
+/// between runs, but every claim in a level stores the same distance, so
+/// `dist`, `visited`, and `levels` are deterministic at any thread count.
 pub fn bfs_parallel(g: &CsrGraph, src: NodeId) -> BfsResult {
     let n = g.num_nodes();
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INFINITE_DIST)).collect();

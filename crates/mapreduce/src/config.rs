@@ -21,7 +21,7 @@ pub struct MrConfig {
 impl Default for MrConfig {
     fn default() -> Self {
         MrConfig {
-            partitions: 4 * rayon::current_num_threads().max(1),
+            partitions: MrConfig::default_partitions(),
             local_memory: None,
             enforce_local_memory: false,
         }
@@ -29,6 +29,17 @@ impl Default for MrConfig {
 }
 
 impl MrConfig {
+    /// The default partition count shared by [`crate::engine::MrEngine`] and
+    /// [`crate::vertex::VertexEngine`]: `4 × pool threads`, the Spark-style
+    /// over-partitioning factor that smooths skew across reducers.
+    ///
+    /// Note that the partition count shapes *scheduling* (and the stats
+    /// ledger's notion of a reducer), never *results*: both engines produce
+    /// partition-count-independent outputs for the commutative combiners
+    /// this workspace uses.
+    pub fn default_partitions() -> usize {
+        4 * rayon::current_num_threads().max(1)
+    }
     /// Accounting-only configuration with an explicit partition count.
     pub fn with_partitions(partitions: usize) -> Self {
         MrConfig {
@@ -61,6 +72,18 @@ mod tests {
         let c = MrConfig::default();
         assert!(c.partitions >= 4);
         assert!(c.local_memory.is_none());
+    }
+
+    #[test]
+    fn default_partitions_is_the_shared_helper() {
+        assert_eq!(
+            MrConfig::default().partitions,
+            MrConfig::default_partitions()
+        );
+        assert_eq!(
+            MrConfig::default_partitions(),
+            4 * rayon::current_num_threads().max(1)
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! merged en route — exactly the combiner optimization every real engine
 //! applies to BFS-style minimum propagation and HADI-style sketch ORs.
 
+use crate::config::MrConfig;
 use crate::stats::{MrStats, RoundStats};
 use pardec_graph::{CsrGraph, NodeId};
 use rayon::prelude::*;
@@ -65,7 +66,7 @@ where
             g,
             state,
             outbox: (0..n).map(|_| None).collect(),
-            partitions: (4 * rayon::current_num_threads()).max(1),
+            partitions: MrConfig::default_partitions(),
             supersteps: 0,
             stats: MrStats::default(),
         }

@@ -1,0 +1,758 @@
+//! The work-stealing thread-pool runtime.
+//!
+//! A [`Registry`] owns one [`std::thread`] worker per logical core (or
+//! whatever [`ThreadPoolBuilder::num_threads`] / `RAYON_NUM_THREADS` asks
+//! for). Every worker has its own LIFO deque of pending jobs; idle workers
+//! steal from the *front* of their peers' deques (oldest job first, the
+//! classic Chase–Lev discipline, here realized with `Mutex`-guarded
+//! `VecDeque`s — the build environment has no crossbeam). Threads outside
+//! the pool hand work in through a shared injector queue and block until it
+//! completes.
+//!
+//! The primitive everything else reduces to is [`join`]: run two closures,
+//! possibly in parallel, and return both results. The calling worker pushes
+//! the second closure as a stack-allocated job, runs the first inline, and
+//! then either pops the second back (nobody stole it — the common, zero
+//! migration case) or helps execute other jobs until the thief finishes it.
+//! Panics in either closure are captured and re-thrown on the caller, after
+//! both sides have quiesced, so stack-held job state is never abandoned.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job living either on a joiner's stack
+/// ([`StackJob`]) or on the heap ([`HeapJob`]). The pointee is guaranteed by
+/// its owner to outlive execution: stack jobs are awaited before the owning
+/// frame returns, heap jobs are owned by the reference itself.
+struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the pointee is Sync-safe
+// by construction (its mutable state is only touched by the executor).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job allocated on the stack of the thread calling [`join`]. The latch
+/// flips exactly once, after the result slot is written, and the joiner
+/// never returns before the latch is set — so the raw pointer in the
+/// corresponding [`JobRef`] cannot dangle.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+            latch: Latch::new(),
+        }
+    }
+
+    /// # Safety
+    /// The caller must keep `self` alive (and at a stable address) until the
+    /// latch is set.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: Self::execute,
+        }
+    }
+
+    unsafe fn execute(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panicked(p),
+        };
+        *this.result.get() = result;
+        this.latch.set();
+    }
+
+    /// Runs the closure on the current thread, bypassing the latch. Only
+    /// valid when the job was never published (or was popped back un-stolen).
+    fn run_inline(self) -> R {
+        let func = self.func.into_inner().expect("job executed twice");
+        func()
+    }
+
+    /// Retrieves the result after the latch has been observed set,
+    /// propagating a captured panic.
+    fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Ok(r) => r,
+            JobResult::Panicked(p) => panic::resume_unwind(p),
+            JobResult::Pending => unreachable!("latch set before result written"),
+        }
+    }
+}
+
+/// A heap-allocated, `'static` job (used by [`spawn`] and scope spawns).
+struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    /// Boxes `func` and returns the owning [`JobRef`] (hence not `-> Self`).
+    #[allow(clippy::new_ret_no_self)]
+    fn new(func: Box<dyn FnOnce() + Send>) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        JobRef {
+            data: Box::into_raw(boxed) as *const (),
+            execute_fn: Self::execute,
+        }
+    }
+
+    unsafe fn execute(ptr: *const ()) {
+        let this = Box::from_raw(ptr as *mut HeapJob);
+        // Panics are caught so a spawned task cannot take down a worker;
+        // mirroring rayon's default would abort, which is unhelpful in an
+        // offline test harness.
+        if panic::catch_unwind(AssertUnwindSafe(this.func)).is_err() {
+            eprintln!("pardec-rayon: a spawned task panicked (ignored)");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------------
+
+/// One-shot completion flag with blocking waiters. The `Mutex` also provides
+/// the happens-before edge between the executor's result write and the
+/// joiner's result read.
+struct Latch {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            done: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn probe(&self) -> bool {
+        *self.done.lock().unwrap()
+    }
+
+    fn set(&self) {
+        // notify_all must happen while the lock is held: the instant a
+        // waiter can observe `done == true` it may free the StackJob that
+        // owns this latch, so the unlock at end of scope has to be the
+        // setter's final touch of the latch memory.
+        let mut done = self.done.lock().unwrap();
+        *done = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until set (used by threads outside the pool, which have no
+    /// queue to help drain).
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cond.wait(done).unwrap();
+        }
+    }
+
+    /// Blocks until set or `timeout`, whichever is first. Workers use this
+    /// between steal attempts so a missed wakeup costs microseconds, not a
+    /// hang.
+    fn wait_timeout(&self, timeout: Duration) {
+        let done = self.done.lock().unwrap();
+        if !*done {
+            let _ = self.cond.wait_timeout(done, timeout).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (the pool proper)
+// ---------------------------------------------------------------------------
+
+/// Shared state of one thread pool.
+pub(crate) struct Registry {
+    /// Per-worker job deques. Owners push/pop at the back (LIFO, cache-warm);
+    /// thieves steal from the front (FIFO, the oldest = biggest subtree).
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Jobs submitted by threads outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Bumped (under the lock) on every publish, so sleepers can detect work
+    /// that arrived between their last steal attempt and going to sleep.
+    activity: Mutex<u64>,
+    wake: Condvar,
+    /// Workers currently inside the sleep protocol. Publishes skip the
+    /// activity lock + notify entirely while everyone is busy, which is the
+    /// steady state of a saturated pool — `join` then costs two deque ops.
+    sleepers: AtomicUsize,
+    terminate: AtomicBool,
+    /// Live worker count, so `Drop` can wait for clean shutdown.
+    running: AtomicUsize,
+}
+
+thread_local! {
+    /// `(registry, worker index)` when the current thread is a pool worker.
+    static WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+/// The implicitly-built global pool ([`ThreadPoolBuilder::build_global`] can
+/// install one eagerly; first parallel use builds it lazily otherwise).
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Worker-sleep granularity. Publishes notify the condvar, so this is only a
+/// safety net against lost wakeups.
+const SLEEP_TICK: Duration = Duration::from_millis(1);
+
+/// Number of threads the environment asks for: `RAYON_NUM_THREADS` if set to
+/// a positive integer, otherwise the machine's available parallelism.
+fn env_default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::new(env_default_threads()))
+}
+
+/// The registry the current thread should schedule on: its own pool when it
+/// *is* a worker, the global pool otherwise.
+fn current_registry() -> Arc<Registry> {
+    WORKER.with(|w| match w.get() {
+        // SAFETY: the pointer was stored by this worker's own run loop and
+        // outlives the thread (the loop holds an `Arc`).
+        Some((reg, _)) => unsafe { (*reg).arc_clone() },
+        None => Arc::clone(global_registry()),
+    })
+}
+
+impl Registry {
+    fn new(num_threads: usize) -> Arc<Registry> {
+        let num_threads = num_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            activity: Mutex::new(0),
+            wake: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+            running: AtomicUsize::new(num_threads),
+        });
+        for index in 0..num_threads {
+            let reg = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name(format!("pardec-rayon-{index}"))
+                .spawn(move || worker_loop(reg, index))
+                .expect("failed to spawn pool worker");
+        }
+        registry
+    }
+
+    /// `Arc::clone` from a raw self pointer (worker TLS).
+    ///
+    /// # Safety
+    /// `self` must be managed by an `Arc` that is still alive.
+    unsafe fn arc_clone(&self) -> Arc<Registry> {
+        let arc = std::mem::ManuallyDrop::new(Arc::from_raw(self as *const Registry));
+        Arc::clone(&arc)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Announces newly published work to sleeping workers. Cheap when the
+    /// pool is saturated: without sleepers this is one relaxed load. A
+    /// worker that races into the sleep protocol after the load still wakes
+    /// within the sleep tick.
+    fn notify_work(&self) {
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut activity = self.activity.lock().unwrap();
+        *activity = activity.wrapping_add(1);
+        self.wake.notify_all();
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap().push_back(job);
+        self.notify_work();
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_work();
+    }
+
+    /// Pops the back of `index`'s own deque *iff* it is still the given job
+    /// (i.e. no thief took it). LIFO discipline guarantees that any jobs
+    /// pushed by nested joins during `oper_a` have already been popped, so
+    /// "ours" can only be at the back or gone.
+    fn pop_local_if(&self, index: usize, data: *const ()) -> bool {
+        let mut deque = self.deques[index].lock().unwrap();
+        if deque.back().map(|j| j.data) == Some(data) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One scheduling round: own deque (LIFO) → injector → steal (FIFO).
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Work-stealing wait: helps execute other jobs until `latch` is set.
+    /// Only called from worker threads.
+    fn wait_until(&self, index: usize, latch: &Latch) {
+        while !latch.probe() {
+            match self.find_work(index) {
+                // SAFETY: every queued JobRef is alive until executed.
+                Some(job) => unsafe { job.execute() },
+                None => latch.wait_timeout(SLEEP_TICK),
+            }
+        }
+    }
+
+    /// Tells the workers to exit once their queues are drained, and waits
+    /// for them (bounded by the sleep tick).
+    fn shutdown(&self) {
+        self.terminate.store(true, Ordering::Release);
+        self.notify_work();
+        while self.running.load(Ordering::Acquire) > 0 {
+            self.notify_work();
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Runs `op` inside the pool and blocks until it completes. Must be
+    /// called from a thread *outside* this registry.
+    fn in_worker_external<F, R>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(op);
+        // SAFETY: we block on the latch below, so the stack job outlives its
+        // execution.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.inject(job_ref);
+        job.latch.wait();
+        job.into_result()
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            // SAFETY: every queued JobRef is alive until executed.
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        // Sleep protocol: register as a sleeper *before* the confirming
+        // re-scan, so a concurrent publish either sees the sleeper count
+        // (and notifies) or enqueued early enough for the re-scan to find
+        // it. The races this relaxed protocol leaves open cost at most one
+        // sleep tick of latency, never lost work.
+        registry.sleepers.fetch_add(1, Ordering::AcqRel);
+        let last_activity = *registry.activity.lock().unwrap();
+        if let Some(job) = registry.find_work(index) {
+            registry.sleepers.fetch_sub(1, Ordering::AcqRel);
+            // SAFETY: every queued JobRef is alive until executed.
+            unsafe { job.execute() };
+            continue;
+        }
+        let activity = registry.activity.lock().unwrap();
+        if *activity == last_activity {
+            let _ = registry.wake.wait_timeout(activity, SLEEP_TICK).unwrap();
+        }
+        registry.sleepers.fetch_sub(1, Ordering::AcqRel);
+    }
+    WORKER.with(|w| w.set(None));
+    registry.running.fetch_sub(1, Ordering::AcqRel);
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Takes two closures and *potentially* runs them in parallel, returning
+/// both results. The call only returns once both closures have completed;
+/// a panic in either is re-thrown after the other has quiesced.
+///
+/// This mirrors `rayon::join`, including the scheduling strategy: `oper_b`
+/// is published for theft, `oper_a` runs on the calling thread, and an
+/// un-stolen `oper_b` is reclaimed and run inline (so sequential cost is two
+/// queue operations, not a thread handoff).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let worker = WORKER.with(|w| w.get());
+    match worker {
+        Some((reg, index)) => {
+            // SAFETY: TLS pointer is valid for the life of the worker.
+            let registry = unsafe { &*reg };
+            if registry.num_threads() == 1 {
+                // Nobody to steal: skip the queue round-trip entirely.
+                return (oper_a(), oper_b());
+            }
+            join_in_worker(registry, index, oper_a, oper_b)
+        }
+        None => {
+            let registry = Arc::clone(global_registry());
+            if registry.num_threads() == 1 {
+                return (oper_a(), oper_b());
+            }
+            registry.in_worker_external(move || join(oper_a, oper_b))
+        }
+    }
+}
+
+fn join_in_worker<A, B, RA, RB>(registry: &Registry, index: usize, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b);
+    // SAFETY: this frame does not return until job_b has run (inline, or by
+    // a thief signalled through the latch), so the reference cannot dangle.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    let job_b_data = job_b_ref.data;
+    registry.push_local(index, job_b_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if registry.pop_local_if(index, job_b_data) {
+        // Fast path: b was never stolen; run it here. If a panicked, b is
+        // simply dropped unexecuted (matching rayon).
+        match result_a {
+            Ok(ra) => (ra, job_b.run_inline()),
+            Err(p) => panic::resume_unwind(p),
+        }
+    } else {
+        // b is (being) executed elsewhere: help the pool until it is done.
+        // Even if a panicked we must wait — the thief is using our stack.
+        registry.wait_until(index, &job_b.latch);
+        match result_a {
+            Ok(ra) => (ra, job_b.into_result()),
+            Err(p) => panic::resume_unwind(p),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scope / spawn
+// ---------------------------------------------------------------------------
+
+/// A scope for spawning borrowed tasks; see [`scope`].
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Tasks spawned but not yet finished (transitively: a task's own spawns
+    /// are counted before its decrement).
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over `'scope` (mirrors rayon).
+    marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Wrapper making a raw scope pointer `Send` for capture by spawned jobs.
+/// Sound because the `Scope` outlives all of its jobs by construction.
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// Method (rather than field) access, so closures capture the whole
+    /// `Send` wrapper instead of precisely capturing the raw-pointer field.
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
+    }
+}
+
+/// Creates a scope in which closures borrowing non-`'static` data can be
+/// spawned onto the pool. `scope` blocks until every spawned task (and their
+/// transitive spawns) has completed; the first captured panic is then
+/// re-thrown.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        registry: current_registry(),
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: std::marker::PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    scope.wait_all();
+    if let Some(p) = scope.panic.lock().unwrap().take() {
+        panic::resume_unwind(p);
+    }
+    match result {
+        Ok(r) => r,
+        Err(p) => panic::resume_unwind(p),
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task that may borrow anything outliving the scope. Tasks may
+    /// recursively spawn into the same scope.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let func: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: `scope` blocks in wait_all until pending == 0, which
+            // can only happen after this closure's decrement below.
+            let scope = unsafe { &*scope_ptr.get() };
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.panic.lock().unwrap().get_or_insert(p);
+            }
+            scope.pending.fetch_sub(1, Ordering::AcqRel);
+        });
+        // SAFETY: the lifetime is erased to queue the job, but wait_all
+        // guarantees execution finishes before 'scope ends.
+        let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
+        let job = HeapJob::new(func);
+        match WORKER.with(|w| w.get()) {
+            Some((reg, index)) if std::ptr::eq(reg, Arc::as_ptr(&self.registry)) => {
+                self.registry.push_local(index, job)
+            }
+            _ => self.registry.inject(job),
+        }
+    }
+
+    fn wait_all(&self) {
+        let worker = WORKER.with(|w| w.get());
+        while self.pending.load(Ordering::Acquire) > 0 {
+            let helped = match worker {
+                Some((reg, index)) if std::ptr::eq(reg, Arc::as_ptr(&self.registry)) => {
+                    // SAFETY: TLS registry pointer valid for the worker's life.
+                    match unsafe { (*reg).find_work(index) } {
+                        Some(job) => {
+                            // SAFETY: queued jobs are alive until executed.
+                            unsafe { job.execute() };
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                _ => false,
+            };
+            if !helped {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+/// Fire-and-forget spawn of a `'static` task onto the current pool.
+pub fn spawn<F>(func: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let registry = current_registry();
+    let job = HeapJob::new(Box::new(func));
+    match WORKER.with(|w| w.get()) {
+        Some((reg, index)) if std::ptr::eq(reg, Arc::as_ptr(&registry)) => {
+            registry.push_local(index, job)
+        }
+        _ => registry.inject(job),
+    }
+}
+
+/// Number of threads in the current pool: the enclosing [`ThreadPool`] when
+/// called from inside [`ThreadPool::install`] (or a worker), otherwise the
+/// global pool (building it on first use).
+pub fn current_num_threads() -> usize {
+    current_registry().num_threads()
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ThreadPoolBuilder
+// ---------------------------------------------------------------------------
+
+/// An explicitly constructed pool, independent of the global one. Mirrors
+/// `rayon::ThreadPool`: obtain via [`ThreadPoolBuilder::build`], then run
+/// closures inside it with [`ThreadPool::install`].
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+}
+
+impl ThreadPool {
+    /// Executes `op` within the pool: parallel operations inside `op` use
+    /// this pool's workers. Blocks until `op` returns.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let on_this_pool = WORKER
+            .with(|w| w.get())
+            .is_some_and(|(reg, _)| std::ptr::eq(reg, Arc::as_ptr(&self.registry)));
+        if on_this_pool {
+            op()
+        } else {
+            self.registry.in_worker_external(op)
+        }
+    }
+
+    /// The number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Equivalent of [`join`], but guaranteed to execute inside this pool.
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| join(oper_a, oper_b))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Workers drain their queues before exiting, so no queued work is
+        // lost and no worker outlives the pool object.
+        self.registry.shutdown();
+    }
+}
+
+/// Error returned when a pool cannot be built (currently only: the global
+/// pool was already initialized).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`]s (and the global pool). Mirrors
+/// `rayon::ThreadPoolBuilder`'s core surface.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (thread count from
+    /// `RAYON_NUM_THREADS`, falling back to the available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` (the default) means "use the environment
+    /// default", exactly like rayon.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            env_default_threads()
+        }
+    }
+
+    /// Builds a standalone pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            registry: Registry::new(self.resolved_threads()),
+        })
+    }
+
+    /// Installs the global pool. Fails if it was already initialized —
+    /// explicitly, or implicitly by a prior parallel call.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let already = ThreadPoolBuildError {
+            msg: "the global thread pool has already been initialized",
+        };
+        if GLOBAL.get().is_some() {
+            return Err(already);
+        }
+        let registry = Registry::new(self.resolved_threads());
+        GLOBAL.set(registry).map_err(|rejected| {
+            // Lost a race with a concurrent (or lazy) initialization: tear
+            // the just-built workers down instead of leaking them.
+            rejected.shutdown();
+            already
+        })
+    }
+}

@@ -1,0 +1,168 @@
+//! Slice-level parallel entry points (mirror of `rayon::slice`):
+//! `par_chunks{,_mut}` and the parallel sorts.
+
+use crate::iter::{ChunksMutProducer, ChunksProducer, ParIter};
+use crate::pool::join;
+use std::cmp::Ordering;
+
+/// Parallel operations on `&[T]` (mirror of `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized pieces (last may be
+    /// shorter). Chunk boundaries are identical to `slice::chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(chunk_size != 0, "chunk_size must not be zero");
+        ParIter {
+            producer: ChunksProducer {
+                slice: self,
+                chunk: chunk_size,
+            },
+        }
+    }
+}
+
+/// Parallel operations on `&mut [T]` (mirror of
+/// `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+
+    /// Parallel unstable sort: sorted leaves (`sort_unstable`) merged
+    /// pairwise. The split points depend only on the length, so the result
+    /// is identical for every pool size.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Parallel unstable sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+
+    /// Parallel unstable sort with a comparator.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size != 0, "chunk_size must not be zero");
+        ParIter {
+            producer: ChunksMutProducer {
+                slice: self,
+                chunk: chunk_size,
+            },
+        }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_merge_sort(self, &|a: &T, b: &T| a.cmp(b));
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_merge_sort(self, &|a: &T, b: &T| f(a).cmp(&f(b)));
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self, &compare);
+    }
+}
+
+/// Below this length a run is sorted sequentially. A fixed constant — never
+/// the worker count — so the recursion tree (and the exact output for
+/// equal-comparing, non-identical elements under `by_key`) is deterministic.
+const SORT_LEAF: usize = 4096;
+
+fn par_merge_sort<T, C>(v: &mut [T], cmp: &C)
+where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    if len <= SORT_LEAF {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mid = len / 2;
+    {
+        let (left, right) = v.split_at_mut(mid);
+        join(|| par_merge_sort(left, cmp), || par_merge_sort(right, cmp));
+    }
+    merge_runs(v, mid, cmp);
+}
+
+/// Restores the un-merged remainder of the left run into the hole if the
+/// comparator panics mid-merge, keeping `v` a permutation of its original
+/// elements (no leaks, no double drops).
+struct MergeGuard<T> {
+    src: *const T,
+    dst: *mut T,
+    remaining: usize,
+}
+
+impl<T> Drop for MergeGuard<T> {
+    fn drop(&mut self) {
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.src, self.dst, self.remaining);
+        }
+    }
+}
+
+/// Merges the sorted runs `v[..mid]` and `v[mid..]` in place, using a
+/// scratch buffer for the left run (the std merge-sort strategy). Ties take
+/// the left element, so the merge is stable.
+fn merge_runs<T, C>(v: &mut [T], mid: usize, cmp: &C)
+where
+    C: Fn(&T, &T) -> Ordering,
+{
+    let len = v.len();
+    if mid == 0 || mid == len || cmp(&v[mid - 1], &v[mid]) != Ordering::Greater {
+        return; // already in order
+    }
+    let mut scratch: Vec<T> = Vec::with_capacity(mid);
+    unsafe {
+        let base = v.as_mut_ptr();
+        // Move the left run out; v[..mid] is now a hole of moved-out slots.
+        std::ptr::copy_nonoverlapping(base, scratch.as_mut_ptr(), mid);
+        let mut guard = MergeGuard {
+            src: scratch.as_ptr(),
+            dst: base,
+            remaining: mid,
+        };
+        let mut right = mid;
+        while guard.remaining > 0 && right < len {
+            // `guard.dst` (the write cursor) never catches up with `right`:
+            // written = taken_left + taken_right < mid + taken_right = right.
+            if cmp(&*base.add(right), &*guard.src) == Ordering::Less {
+                std::ptr::copy_nonoverlapping(base.add(right), guard.dst, 1);
+                right += 1;
+            } else {
+                std::ptr::copy_nonoverlapping(guard.src, guard.dst, 1);
+                guard.src = guard.src.add(1);
+                guard.remaining -= 1;
+            }
+            guard.dst = guard.dst.add(1);
+        }
+        // Right run exhausted: the guard's drop copies the rest of the left
+        // run into the hole, which ends exactly at `len`. Left run
+        // exhausted: the remaining right elements are already in place.
+        drop(guard);
+        // `scratch` never had its length set; dropping it frees capacity
+        // without double-dropping the moved-out elements.
+    }
+}

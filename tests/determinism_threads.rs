@@ -1,0 +1,94 @@
+//! The runtime's headline guarantee, asserted end-to-end: for a fixed seed,
+//! decomposition, diameter approximation, and HADI produce **byte-identical**
+//! results on a 1-thread pool and on a 4-thread pool.
+//!
+//! This holds because the rayon shim splits reductions by input length only
+//! (the merge tree never consults the worker count) and merges partial
+//! results left-to-right, and because every racy claim in the algorithms
+//! (CAS frontier claims, `fetch_min` cluster proposals) is value-determinate
+//! regardless of which thread wins.
+
+use pardec::prelude::*;
+
+/// Runs `f` once inside a 1-thread pool and once inside a 4-thread pool and
+/// returns both outputs, rendered to bytes via `Debug`.
+fn on_both_pools<T: std::fmt::Debug + Send>(f: impl Fn() -> T + Sync + Send) -> (String, String) {
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool construction cannot fail");
+        let out = pool.install(&f);
+        format!("{out:?}")
+    };
+    (run(1), run(4))
+}
+
+fn workload_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "powerlaw",
+            generators::windowed_preferential_attachment(6_000, 6, 0.025, 11),
+        ),
+        ("road", generators::road_network(45, 45, 0.4, 12)),
+        ("mesh", generators::mesh(60, 55)),
+    ]
+}
+
+#[test]
+fn decompose_is_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        let (one, four) = on_both_pools(|| {
+            let r = cluster(&g, &ClusterParams::new(8, 42));
+            (
+                r.clustering.assignment.clone(),
+                r.clustering.dist_to_center.clone(),
+                r.clustering.num_clusters(),
+            )
+        });
+        assert_eq!(one, four, "cluster() diverged on {name}");
+
+        let (one, four) = on_both_pools(|| {
+            let r = cluster2(&g, &ClusterParams::new(8, 42));
+            r.clustering.assignment.clone()
+        });
+        assert_eq!(one, four, "cluster2() diverged on {name}");
+    }
+}
+
+#[test]
+fn diameter_is_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        let (one, four) = on_both_pools(|| {
+            let a = approximate_diameter(&g, &DiameterParams::new(8, 42));
+            (a.lower_bound, a.estimate(), a.radius, a.quotient_nodes)
+        });
+        assert_eq!(one, four, "approximate_diameter() diverged on {name}");
+    }
+}
+
+#[test]
+fn hadi_is_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        let (one, four) = on_both_pools(|| {
+            // The full result — including the f64 neighbourhood-function
+            // estimates, the part only the fixed merge tree can keep stable.
+            hadi(&g, &HadiParams::new(3))
+        });
+        assert_eq!(one, four, "hadi() diverged on {name}");
+    }
+}
+
+#[test]
+fn parallel_bfs_matches_sequential_bfs_on_a_real_pool() {
+    let g = generators::windowed_preferential_attachment(4_000, 6, 0.025, 5);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("pool construction cannot fail");
+    let seq = pardec::graph::traversal::bfs(&g, 0);
+    let par = pool.install(|| pardec::graph::traversal::bfs_parallel(&g, 0));
+    assert_eq!(seq.dist, par.dist);
+    assert_eq!(seq.visited, par.visited);
+    assert_eq!(seq.levels, par.levels);
+}
