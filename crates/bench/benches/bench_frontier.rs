@@ -1,0 +1,110 @@
+//! Frontier-strategy bench: the same multi-source BFS workload expanded
+//! top-down, bottom-up, and hybrid, on explicit pools of 1, 2, and 4
+//! workers, one JSON line per (workload, strategy, threads) configuration.
+//!
+//! ```text
+//! cargo bench -p pardec-bench --bench bench_frontier
+//! ```
+//!
+//! Scale with `--scale {ci,default,full}` or `PARDEC_SCALE`, like the table
+//! binaries. The three workloads cover the paper's regimes: a mesh
+//! (large diameter, slow-growing fronts), a windowed preferential-attachment
+//! power-law graph (small diameter — the saturation levels touch most arcs,
+//! which is where bottom-up pulls ahead), and a road network (in between).
+//! Every configuration's output is asserted byte-identical to the top-down
+//! reference before its timing is reported — the bench doubles as an
+//! end-to-end equivalence check.
+
+use pardec_bench::workloads::Scale;
+use pardec_bench::{scale_from_args, timed};
+use pardec_graph::frontier::{multi_source_bfs, FrontierStrategy};
+use pardec_graph::{generators, CsrGraph, NodeId};
+
+const THREAD_CONFIGS: [usize; 3] = [1, 2, 4];
+const NUM_SOURCES: usize = 64;
+const SEED: u64 = 7;
+
+fn workloads(scale: Scale) -> Vec<(&'static str, CsrGraph)> {
+    let (mesh_side, pl_nodes, road_side) = match scale {
+        Scale::Ci => (170, 40_000, 130),
+        Scale::Default => (350, 160_000, 260),
+        Scale::Full => (700, 600_000, 500),
+    };
+    vec![
+        ("mesh", generators::mesh(mesh_side, mesh_side)),
+        (
+            "powerlaw",
+            generators::windowed_preferential_attachment(pl_nodes, 8, 0.025, SEED),
+        ),
+        (
+            "road",
+            generators::road_network(road_side, road_side, 0.4, SEED),
+        ),
+    ]
+}
+
+/// Evenly spread source set — a CLUSTER-batch-like wave start.
+fn sources(n: usize) -> Vec<NodeId> {
+    let k = NUM_SOURCES.min(n);
+    (0..k).map(|i| (i * (n / k)) as NodeId).collect()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    for (workload, g) in workloads(scale) {
+        let srcs = sources(g.num_nodes());
+        for threads in THREAD_CONFIGS {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool construction cannot fail");
+            let mut reference = None;
+            let mut topdown_seconds = None;
+            for strategy in FrontierStrategy::ALL {
+                // One warm-up, then best-of-three to damp scheduler noise.
+                let _ = pool.install(|| multi_source_bfs(&g, &srcs, strategy));
+                let mut best = f64::INFINITY;
+                let mut result = None;
+                for _ in 0..3 {
+                    let (r, secs) =
+                        timed(|| pool.install(|| multi_source_bfs(&g, &srcs, strategy)));
+                    best = best.min(secs);
+                    result = Some(r);
+                }
+                let (bfs, owner) = result.expect("ran at least once");
+                let identical = match &reference {
+                    None => {
+                        reference = Some((bfs.dist.clone(), owner.clone()));
+                        true
+                    }
+                    Some((d, o)) => *d == bfs.dist && *o == owner,
+                };
+                let speedup = match topdown_seconds {
+                    None => {
+                        topdown_seconds = Some(best);
+                        1.0
+                    }
+                    Some(base) => base / best,
+                };
+                println!(
+                    "{{\"bench\":\"frontier\",\"workload\":\"{}\",\"nodes\":{},\"edges\":{},\
+                     \"sources\":{},\"strategy\":\"{}\",\"threads\":{},\"seconds\":{:.6},\
+                     \"speedup_vs_topdown\":{:.3},\"identical_output\":{}}}",
+                    workload,
+                    g.num_nodes(),
+                    g.num_edges(),
+                    srcs.len(),
+                    strategy,
+                    threads,
+                    best,
+                    speedup,
+                    identical
+                );
+                assert!(
+                    identical,
+                    "{workload}/{strategy} diverged from topdown at {threads} threads"
+                );
+            }
+        }
+    }
+}

@@ -74,6 +74,7 @@ const VALUED_KEYS: &[&str] = &[
     "trials",
     "edges",
     "threads",
+    "frontier",
 ];
 
 impl Args {
@@ -152,6 +153,20 @@ impl Args {
     /// Whether a bare flag was given.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The `--frontier` option: frontier expansion strategy for the growth
+    /// engine, `None` when unspecified (the strategy then follows
+    /// `PARDEC_FRONTIER`, falling back to top-down).
+    pub fn frontier(&self) -> Result<Option<pardec_graph::FrontierStrategy>, ArgError> {
+        match self.options.get("frontier") {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| ArgError::BadValue {
+                key: "frontier".to_string(),
+                value: raw.to_string(),
+                expected: "topdown, bottomup, or hybrid",
+            }),
+        }
     }
 
     /// The `--threads` option: requested worker count for the global pool,
@@ -238,6 +253,31 @@ mod tests {
         assert_eq!(
             parse("stats --threads").unwrap_err(),
             ArgError::MissingValue("threads".into())
+        );
+    }
+
+    #[test]
+    fn frontier_option() {
+        use pardec_graph::FrontierStrategy;
+        assert_eq!(parse("stats --graph g").unwrap().frontier().unwrap(), None);
+        for (raw, want) in [
+            ("topdown", FrontierStrategy::TopDown),
+            ("bottomup", FrontierStrategy::BottomUp),
+            ("hybrid", FrontierStrategy::Hybrid),
+        ] {
+            assert_eq!(
+                parse(&format!("cluster --graph g --frontier {raw}"))
+                    .unwrap()
+                    .frontier(),
+                Ok(Some(want)),
+                "--frontier {raw}"
+            );
+        }
+        let a = parse("cluster --graph g --frontier beamer").unwrap();
+        assert!(matches!(a.frontier(), Err(ArgError::BadValue { .. })));
+        assert_eq!(
+            parse("cluster --frontier").unwrap_err(),
+            ArgError::MissingValue("frontier".into())
         );
     }
 

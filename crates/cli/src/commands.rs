@@ -3,10 +3,10 @@
 use crate::args::Args;
 use pardec_core::diameter::Decomposition;
 use pardec_core::{
-    approximate_diameter, cluster, cluster2, gonzalez, kcenter, mpx, ClusterParams, Clustering,
-    DiameterParams, DistanceOracle,
+    approximate_diameter, cluster, cluster2, gonzalez, kcenter, mpx_with_frontier, ClusterParams,
+    Clustering, DiameterParams, DistanceOracle,
 };
-use pardec_graph::{diameter, generators, io, stats, CsrGraph, NodeId};
+use pardec_graph::{diameter, generators, io, stats, CsrGraph, FrontierStrategy, NodeId};
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -18,6 +18,9 @@ usage: pardec <command> [options]
 global options:
   --threads N   size of the worker pool used by all parallel phases
                 (default: RAYON_NUM_THREADS, else all available cores)
+  --frontier S  frontier expansion strategy for BFS/growth phases:
+                topdown | bottomup | hybrid (default: PARDEC_FRONTIER,
+                else topdown; output is byte-identical either way)
 
 commands:
   generate  --family mesh|torus|road|social|ba|gnm|lollipop [--rows R --cols C]
@@ -75,6 +78,13 @@ fn load_graph(args: &Args) -> Result<CsrGraph, Box<dyn Error>> {
 
 fn seed(args: &Args) -> Result<u64, crate::args::ArgError> {
     args.opt_parse("seed", 42u64, "an unsigned integer")
+}
+
+/// `--frontier` when given, else the `PARDEC_FRONTIER`/top-down default.
+fn frontier(args: &Args) -> Result<FrontierStrategy, crate::args::ArgError> {
+    Ok(args
+        .frontier()?
+        .unwrap_or_else(FrontierStrategy::default_from_env))
 }
 
 fn cmd_generate(args: &Args) -> CmdResult {
@@ -163,13 +173,14 @@ fn cmd_cluster(args: &Args) -> CmdResult {
     let g = load_graph(args)?;
     let s = seed(args)?;
     let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
+    let strategy = frontier(args)?;
     let algorithm = args.opt("algorithm", "cluster");
     let clustering = match algorithm {
-        "cluster" => cluster(&g, &ClusterParams::new(tau, s)).clustering,
-        "cluster2" => cluster2(&g, &ClusterParams::new(tau, s)).clustering,
+        "cluster" => cluster(&g, &ClusterParams::new(tau, s).with_frontier(strategy)).clustering,
+        "cluster2" => cluster2(&g, &ClusterParams::new(tau, s).with_frontier(strategy)).clustering,
         "mpx" => {
             let beta: f64 = args.opt_parse("beta", 0.2, "a positive rate")?;
-            mpx(&g, beta, s).clustering
+            mpx_with_frontier(&g, beta, s, strategy).clustering
         }
         other => return Err(format!("unknown algorithm {other:?}").into()),
     };
@@ -199,7 +210,7 @@ fn cmd_diameter(args: &Args) -> CmdResult {
     let g = load_graph(args)?;
     let s = seed(args)?;
     let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
-    let mut params = DiameterParams::new(tau, s);
+    let mut params = DiameterParams::new(tau, s).with_frontier(frontier(args)?);
     if args.has_flag("cluster2") {
         params.decomposition = Decomposition::Cluster2;
     }
@@ -351,11 +362,15 @@ mod tests {
         )))
         .unwrap();
         for algo in ["cluster", "cluster2", "mpx"] {
-            dispatch(&args(&format!(
-                "cluster --graph {path} --algorithm {algo} --tau 1"
-            )))
-            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            for strategy in ["topdown", "bottomup", "hybrid"] {
+                dispatch(&args(&format!(
+                    "cluster --graph {path} --algorithm {algo} --tau 1 --frontier {strategy}"
+                )))
+                .unwrap_or_else(|e| panic!("{algo}/{strategy}: {e}"));
+            }
         }
+        dispatch(&args(&format!("diameter --graph {path} --frontier hybrid"))).unwrap();
+        assert!(dispatch(&args(&format!("cluster --graph {path} --frontier nosuch"))).is_err());
         let _ = std::fs::remove_file(path);
     }
 
@@ -381,6 +396,7 @@ mod tests {
     fn help_prints() {
         dispatch(&args("help")).unwrap();
         assert!(USAGE.contains("--threads"));
+        assert!(USAGE.contains("--frontier"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! is the property the paper's evaluation punishes on long-diameter graphs.
 
 use pardec_graph::diameter::double_sweep;
-use pardec_graph::traversal::bfs_parallel;
+use pardec_graph::frontier::{single_source_bfs, FrontierStrategy};
 use pardec_graph::{CsrGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,7 +30,9 @@ pub fn bfs_diameter(g: &CsrGraph, seed: u64) -> BfsDiameter {
     assert!(g.num_nodes() > 0, "BFS baseline on empty graph");
     let mut rng = StdRng::seed_from_u64(seed);
     let source = rng.gen_range(0..g.num_nodes()) as NodeId;
-    let r = bfs_parallel(g, source);
+    // A single whole-graph sweep — exactly the shape the direction-
+    // optimizing engine accelerates, so honour the ambient strategy.
+    let r = single_source_bfs(g, source, FrontierStrategy::default_from_env());
     BfsDiameter {
         source,
         lower_bound: r.levels,

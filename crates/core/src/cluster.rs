@@ -19,6 +19,7 @@
 
 use crate::clustering::Clustering;
 use crate::growth::GrowthEngine;
+use pardec_graph::frontier::FrontierStrategy;
 use pardec_graph::{CsrGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,10 +37,16 @@ pub struct ClusterParams {
     /// While-loop threshold factor (paper: 8): loop while
     /// `uncovered ≥ stop_factor · τ · log n`.
     pub stop_factor: f64,
+    /// Frontier expansion strategy of the growth engine. Every strategy
+    /// produces a byte-identical clustering; this trades wall-clock only.
+    /// Unused by [`crate::weighted_cluster`], whose event-driven Dijkstra
+    /// growth has no level-synchronous frontier to flip.
+    pub frontier: FrontierStrategy,
 }
 
 impl ClusterParams {
-    /// Paper constants with the given τ and seed.
+    /// Paper constants with the given τ and seed. The frontier strategy
+    /// follows `PARDEC_FRONTIER` (default: top-down).
     pub fn new(tau: usize, seed: u64) -> Self {
         assert!(tau >= 1, "tau must be positive");
         ClusterParams {
@@ -47,7 +54,14 @@ impl ClusterParams {
             seed,
             batch_factor: 4.0,
             stop_factor: 8.0,
+            frontier: FrontierStrategy::default_from_env(),
         }
+    }
+
+    /// Selects the growth engine's frontier expansion strategy.
+    pub fn with_frontier(mut self, strategy: FrontierStrategy) -> Self {
+        self.frontier = strategy;
+        self
     }
 }
 
@@ -88,7 +102,7 @@ impl ClusterTrace {
 }
 
 /// Result of [`cluster`]: the decomposition plus its execution trace.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterResult {
     pub clustering: Clustering,
     pub trace: ClusterTrace,
@@ -107,7 +121,7 @@ pub(crate) fn log2n(n: usize) -> f64 {
 pub fn cluster(g: &CsrGraph, params: &ClusterParams) -> ClusterResult {
     let n = g.num_nodes();
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut eng = GrowthEngine::new(g);
+    let mut eng = GrowthEngine::with_strategy(g, params.frontier);
     let mut trace = ClusterTrace::default();
     let logn = log2n(n);
     let threshold = (params.stop_factor * params.tau as f64 * logn).max(1.0);
@@ -174,13 +188,8 @@ pub fn cluster(g: &CsrGraph, params: &ClusterParams) -> ClusterResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::{assert_cluster_strategies_agree, check_cluster as check};
     use pardec_graph::generators;
-
-    fn check(g: &CsrGraph, tau: usize, seed: u64) -> ClusterResult {
-        let r = cluster(g, &ClusterParams::new(tau, seed));
-        r.clustering.validate(g).unwrap();
-        r
-    }
 
     #[test]
     fn covers_mesh() {
@@ -259,6 +268,24 @@ mod tests {
         assert_eq!(a.trace, b.trace);
         let c = cluster(&g, &ClusterParams::new(4, 43));
         assert_ne!(a.clustering, c.clustering);
+    }
+
+    #[test]
+    fn frontier_strategies_produce_identical_decompositions() {
+        for (g, tau, seed) in [
+            (generators::mesh(28, 28), 4, 1),
+            (generators::preferential_attachment(900, 5, 8), 8, 2),
+            (
+                generators::disjoint_union(
+                    &generators::mesh(12, 12),
+                    &generators::road_network(10, 10, 0.3, 4),
+                ),
+                2,
+                3,
+            ),
+        ] {
+            assert_cluster_strategies_agree(&g, tau, seed);
+        }
     }
 
     #[test]

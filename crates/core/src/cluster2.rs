@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 
 /// Result of [`cluster2`]: the decomposition, the probe's `R_ALG`, and both
 /// execution traces.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Cluster2Result {
     pub clustering: Clustering,
     /// Maximum radius of the probe CLUSTER(τ) run (the growth budget input).
@@ -52,7 +52,7 @@ pub fn cluster2(g: &CsrGraph, params: &ClusterParams) -> Cluster2Result {
     let budget = (2 * r_alg).max(1) as usize;
 
     let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(1));
-    let mut eng = GrowthEngine::new(g);
+    let mut eng = GrowthEngine::with_strategy(g, params.frontier);
     let mut trace = ClusterTrace::default();
     let iterations = crate::cluster::log2n(n).ceil() as u32;
 
@@ -105,13 +105,8 @@ pub fn cluster2(g: &CsrGraph, params: &ClusterParams) -> Cluster2Result {
 mod tests {
     use super::*;
     use crate::cluster::log2n;
+    use crate::testing::{assert_cluster2_strategies_agree, check_cluster2 as check};
     use pardec_graph::generators;
-
-    fn check(g: &CsrGraph, tau: usize, seed: u64) -> Cluster2Result {
-        let r = cluster2(g, &ClusterParams::new(tau, seed));
-        r.clustering.validate(g).unwrap();
-        r
-    }
 
     #[test]
     fn covers_everything() {
@@ -191,6 +186,12 @@ mod tests {
         // `cluster` is still exercised for comparison in the probe.
         let c1 = cluster(&g, &ClusterParams::new(4, 11));
         assert!(c1.clustering.num_clusters() > 0);
+    }
+
+    #[test]
+    fn frontier_strategies_produce_identical_decompositions() {
+        assert_cluster2_strategies_agree(&generators::mesh(24, 24), 4, 6);
+        assert_cluster2_strategies_agree(&generators::preferential_attachment(700, 4, 1), 2, 9);
     }
 
     #[test]

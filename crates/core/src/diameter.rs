@@ -17,6 +17,7 @@ use crate::cluster::{cluster, ClusterParams};
 use crate::cluster2::cluster2;
 use crate::clustering::Clustering;
 use pardec_graph::diameter as exact;
+use pardec_graph::frontier::FrontierStrategy;
 use pardec_graph::CsrGraph;
 
 /// Which decomposition feeds the quotient construction.
@@ -47,10 +48,14 @@ pub struct DiameterParams {
     /// spanner's diameter dominates `Δ_C`); the lower bound is divided by
     /// the stretch. `None` (default) never sparsifies.
     pub sparsify_above: Option<usize>,
+    /// Frontier expansion strategy of the underlying cluster growth. Every
+    /// strategy yields byte-identical bounds; this trades wall-clock only.
+    pub frontier: FrontierStrategy,
 }
 
 impl DiameterParams {
     /// The paper's experimental configuration: CLUSTER + weighted quotient.
+    /// The frontier strategy follows `PARDEC_FRONTIER` (default: top-down).
     pub fn new(tau: usize, seed: u64) -> Self {
         DiameterParams {
             tau,
@@ -58,12 +63,19 @@ impl DiameterParams {
             decomposition: Decomposition::Cluster,
             weighted: true,
             sparsify_above: None,
+            frontier: FrontierStrategy::default_from_env(),
         }
     }
 
     /// Theorem-faithful configuration: CLUSTER2 + weighted quotient.
     pub fn with_cluster2(mut self) -> Self {
         self.decomposition = Decomposition::Cluster2;
+        self
+    }
+
+    /// Selects the growth engine's frontier expansion strategy.
+    pub fn with_frontier(mut self, strategy: FrontierStrategy) -> Self {
+        self.frontier = strategy;
         self
     }
 }
@@ -101,7 +113,7 @@ impl DiameterApprox {
 /// On disconnected graphs every bound refers to the largest per-component
 /// value, mirroring [`pardec_graph::diameter::exact_diameter`].
 pub fn approximate_diameter(g: &CsrGraph, params: &DiameterParams) -> DiameterApprox {
-    let cp = ClusterParams::new(params.tau.max(1), params.seed);
+    let cp = ClusterParams::new(params.tau.max(1), params.seed).with_frontier(params.frontier);
     let (clustering, growth_steps) = match params.decomposition {
         Decomposition::Cluster => {
             let r = cluster(g, &cp);
@@ -259,6 +271,23 @@ mod tests {
         let b = approximate_diameter(&g, &DiameterParams::new(2, 5));
         assert_eq!(a.lower_bound, b.lower_bound);
         assert_eq!(a.upper_bound, b.upper_bound);
+    }
+
+    #[test]
+    fn frontier_strategies_produce_identical_bounds() {
+        let g = generators::mesh(25, 25);
+        crate::testing::assert_frontier_strategies_agree("approximate_diameter", |strategy| {
+            let a = approximate_diameter(&g, &DiameterParams::new(8, 3).with_frontier(strategy));
+            (
+                a.lower_bound,
+                a.upper_bound,
+                a.upper_bound_weighted,
+                a.radius,
+                a.quotient_nodes,
+                a.quotient_edges,
+                a.clustering.assignment.clone(),
+            )
+        });
     }
 
     #[test]

@@ -1,172 +1,86 @@
 //! The parallel disjoint cluster-growing engine shared by CLUSTER, CLUSTER2,
 //! and the MPX baseline.
 //!
-//! Each *growth step* expands every active cluster's frontier by one hop.
-//! Contention for an uncovered node is resolved **deterministically** in two
-//! parallel phases:
-//!
-//! 1. *propose* — every frontier node publishes `(owner, dist + 1)` packed
-//!    into a single `u64` to each uncovered neighbour's proposal slot via
-//!    `fetch_min` (so the smallest owner id, then smallest distance, wins
-//!    regardless of thread interleaving — the paper allows arbitrary
-//!    tie-breaking, we pick a reproducible one);
-//! 2. *claim* — each proposed node is atomically drained (`swap`) exactly
-//!    once, its assignment and distance are stored, and it joins the next
-//!    frontier.
-//!
-//! The result is bit-identical across runs and thread counts.
+//! Since PR 3 this is a thin facade over
+//! [`pardec_graph::frontier::FrontierEngine`], which owns the
+//! level-expansion machinery: each *growth step* expands every active
+//! cluster's frontier by one hop, with contention for an uncovered node
+//! resolved **deterministically** by the smallest packed `(owner, dist)`
+//! proposal — so the smallest owner id, then the smallest distance, wins
+//! regardless of thread interleaving (the paper allows arbitrary
+//! tie-breaking, we pick a reproducible one). The engine's top-down,
+//! bottom-up, and hybrid expansion strategies all realize that same rule,
+//! so the resulting [`Clustering`] is bit-identical across runs, thread
+//! counts, *and* strategies.
 
-use pardec_graph::{CsrGraph, NodeId, INVALID_NODE};
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use pardec_graph::frontier::{FrontierEngine, FrontierStrategy};
+use pardec_graph::{CsrGraph, NodeId};
 
 use crate::clustering::Clustering;
 
-const NO_PROPOSAL: u64 = u64::MAX;
-
-#[inline]
-fn pack(owner: NodeId, dist: u32) -> u64 {
-    ((owner as u64) << 32) | dist as u64
-}
-
-#[inline]
-fn unpack(p: u64) -> (NodeId, u32) {
-    ((p >> 32) as NodeId, (p & 0xFFFF_FFFF) as u32)
-}
-
 /// Incremental multi-source disjoint BFS with dynamically added centers.
 pub struct GrowthEngine<'g> {
-    g: &'g CsrGraph,
-    assignment: Vec<AtomicU32>,
-    dist: Vec<AtomicU32>,
-    proposals: Vec<AtomicU64>,
-    frontier: Vec<NodeId>,
-    centers: Vec<NodeId>,
-    covered: usize,
-    steps: usize,
+    inner: FrontierEngine<'g>,
 }
 
 impl<'g> GrowthEngine<'g> {
-    /// A fresh engine over `g` with no clusters.
+    /// A fresh engine over `g` with no clusters, expanding with the ambient
+    /// default strategy (`PARDEC_FRONTIER`, else top-down).
     pub fn new(g: &'g CsrGraph) -> Self {
-        let n = g.num_nodes();
+        Self::with_strategy(g, FrontierStrategy::default_from_env())
+    }
+
+    /// A fresh engine over `g` expanding with the given frontier strategy.
+    pub fn with_strategy(g: &'g CsrGraph, strategy: FrontierStrategy) -> Self {
         GrowthEngine {
-            g,
-            assignment: (0..n).map(|_| AtomicU32::new(INVALID_NODE)).collect(),
-            dist: (0..n).map(|_| AtomicU32::new(0)).collect(),
-            proposals: (0..n).map(|_| AtomicU64::new(NO_PROPOSAL)).collect(),
-            frontier: Vec::new(),
-            centers: Vec::new(),
-            covered: 0,
-            steps: 0,
+            inner: FrontierEngine::new(g, strategy),
         }
     }
 
     /// Nodes covered so far.
     pub fn covered(&self) -> usize {
-        self.covered
+        self.inner.claimed()
     }
 
     /// Nodes not yet claimed by any cluster.
     pub fn uncovered(&self) -> usize {
-        self.g.num_nodes() - self.covered
+        self.inner.unclaimed()
     }
 
     /// Growth steps executed so far (the parallel-depth ledger of Lemma 3).
     pub fn steps(&self) -> usize {
-        self.steps
+        self.inner.steps()
     }
 
     /// Clusters created so far.
     pub fn num_clusters(&self) -> usize {
-        self.centers.len()
+        self.inner.num_sources()
     }
 
     /// Current frontier size (active boundary nodes).
     pub fn frontier_len(&self) -> usize {
-        self.frontier.len()
+        self.inner.frontier_len()
     }
 
     /// Whether `v` is already covered.
     pub fn is_covered(&self, v: NodeId) -> bool {
-        self.assignment[v as usize].load(Ordering::Relaxed) != INVALID_NODE
+        self.inner.is_claimed(v)
     }
 
     /// Activates `v` as a new singleton cluster. Returns `false` (and does
     /// nothing) if `v` is already covered.
     pub fn add_center(&mut self, v: NodeId) -> bool {
-        if self.is_covered(v) {
-            return false;
-        }
-        let id = self.centers.len() as NodeId;
-        self.assignment[v as usize].store(id, Ordering::Relaxed);
-        self.dist[v as usize].store(0, Ordering::Relaxed);
-        self.centers.push(v);
-        self.frontier.push(v);
-        self.covered += 1;
-        true
+        self.inner.add_source(v)
     }
 
     /// Executes one growth step; returns the number of newly covered nodes.
     pub fn step(&mut self) -> usize {
-        if self.frontier.is_empty() {
-            self.steps += 1;
-            return 0;
-        }
-        let g = self.g;
-        let assignment = &self.assignment;
-        let dist = &self.dist;
-        let proposals = &self.proposals;
-
-        // Phase 1: propose. Candidates may repeat; dedup happens in phase 2.
-        let candidates: Vec<NodeId> = self
-            .frontier
-            .par_iter()
-            .fold(Vec::new, |mut acc, &u| {
-                let owner = assignment[u as usize].load(Ordering::Relaxed);
-                let du = dist[u as usize].load(Ordering::Relaxed);
-                let prop = pack(owner, du + 1);
-                for &v in g.neighbors(u) {
-                    if assignment[v as usize].load(Ordering::Relaxed) == INVALID_NODE {
-                        proposals[v as usize].fetch_min(prop, Ordering::Relaxed);
-                        acc.push(v);
-                    }
-                }
-                acc
-            })
-            .reduce(Vec::new, |mut a, mut b| {
-                a.append(&mut b);
-                a
-            });
-
-        // Phase 2: claim. `swap` drains each slot exactly once.
-        let next: Vec<NodeId> = candidates
-            .par_iter()
-            .fold(Vec::new, |mut acc, &v| {
-                let p = proposals[v as usize].swap(NO_PROPOSAL, Ordering::Relaxed);
-                if p != NO_PROPOSAL {
-                    let (owner, d) = unpack(p);
-                    assignment[v as usize].store(owner, Ordering::Relaxed);
-                    dist[v as usize].store(d, Ordering::Relaxed);
-                    acc.push(v);
-                }
-                acc
-            })
-            .reduce(Vec::new, |mut a, mut b| {
-                a.append(&mut b);
-                a
-            });
-
-        self.steps += 1;
-        self.covered += next.len();
-        self.frontier = next;
-        self.frontier.len()
+        self.inner.step()
     }
 
     /// Iterator over currently uncovered nodes (sequential scan).
     pub fn uncovered_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.g.num_nodes() as NodeId)
-            .filter(move |&v| self.assignment[v as usize].load(Ordering::Relaxed) == INVALID_NODE)
+        self.inner.unclaimed_nodes()
     }
 
     /// Finalizes into a [`Clustering`]. Any still-uncovered nodes become
@@ -176,20 +90,15 @@ impl<'g> GrowthEngine<'g> {
         for v in leftovers {
             self.add_center(v);
         }
-        let assignment: Vec<NodeId> = self
-            .assignment
-            .into_iter()
-            .map(AtomicU32::into_inner)
-            .collect();
-        let dist: Vec<u32> = self.dist.into_iter().map(AtomicU32::into_inner).collect();
-        let mut radii = vec![0u32; self.centers.len()];
-        for (v, &c) in assignment.iter().enumerate() {
-            radii[c as usize] = radii[c as usize].max(dist[v]);
+        let parts = self.inner.into_parts();
+        let mut radii = vec![0u32; parts.sources.len()];
+        for (v, &c) in parts.owner.iter().enumerate() {
+            radii[c as usize] = radii[c as usize].max(parts.dist[v]);
         }
         Clustering {
-            assignment,
-            centers: self.centers,
-            dist_to_center: dist,
+            assignment: parts.owner,
+            centers: parts.sources,
+            dist_to_center: parts.dist,
             radii,
         }
     }
@@ -228,15 +137,18 @@ mod tests {
     #[test]
     fn deterministic_tie_break_prefers_smaller_owner() {
         // Path 0-1-2, centers at 0 and 2 added in that order: node 1 is
-        // contested and must go to cluster 0 (smaller id).
+        // contested and must go to cluster 0 (smaller id) — under every
+        // expansion strategy.
         let g = generators::path(3);
-        let mut eng = GrowthEngine::new(&g);
-        eng.add_center(0);
-        eng.add_center(2);
-        eng.step();
-        let c = eng.finish();
-        assert_eq!(c.assignment, vec![0, 0, 1]);
-        assert!(c.validate(&g).is_ok());
+        for strategy in FrontierStrategy::ALL {
+            let mut eng = GrowthEngine::with_strategy(&g, strategy);
+            eng.add_center(0);
+            eng.add_center(2);
+            eng.step();
+            let c = eng.finish();
+            assert_eq!(c.assignment, vec![0, 0, 1], "{strategy}");
+            assert!(c.validate(&g).is_ok());
+        }
     }
 
     #[test]
@@ -260,10 +172,10 @@ mod tests {
     }
 
     #[test]
-    fn determinism_across_runs() {
+    fn determinism_across_runs_and_strategies() {
         let g = generators::road_network(25, 25, 0.4, 3);
-        let run = || {
-            let mut eng = GrowthEngine::new(&g);
+        let run = |strategy| {
+            let mut eng = GrowthEngine::with_strategy(&g, strategy);
             for v in [0u32, 100, 200, 300, 400, 500, 624] {
                 eng.add_center(v);
             }
@@ -274,10 +186,12 @@ mod tests {
             }
             eng.finish()
         };
-        let a = run();
-        let b = run();
+        let a = run(FrontierStrategy::TopDown);
+        let b = run(FrontierStrategy::TopDown);
         assert_eq!(a, b);
         assert!(a.validate(&g).is_ok());
+        assert_eq!(a, run(FrontierStrategy::BottomUp));
+        assert_eq!(a, run(FrontierStrategy::Hybrid));
     }
 
     #[test]

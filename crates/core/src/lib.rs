@@ -39,6 +39,7 @@ pub mod kcenter;
 pub mod mpx;
 pub mod mr_impl;
 pub mod oracle;
+pub mod testing;
 pub mod weighted_cluster;
 
 pub use cluster::{cluster, ClusterParams, ClusterResult, ClusterTrace, IterationTrace};
@@ -47,6 +48,7 @@ pub use clustering::Clustering;
 pub use diameter::{approximate_diameter, DiameterApprox, DiameterParams};
 pub use hadi::{hadi, HadiParams, HadiResult};
 pub use kcenter::{gonzalez, kcenter, KCenterResult};
-pub use mpx::{mpx, MpxResult};
+pub use mpx::{mpx, mpx_with_frontier, MpxResult};
 pub use oracle::DistanceOracle;
+pub use pardec_graph::frontier::FrontierStrategy;
 pub use weighted_cluster::{weighted_cluster, WeightedClustering};

@@ -16,19 +16,22 @@
 
 use crate::clustering::Clustering;
 use crate::growth::GrowthEngine;
+use pardec_graph::frontier::FrontierStrategy;
 use pardec_graph::{CsrGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Result of [`mpx`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MpxResult {
     pub clustering: Clustering,
     /// Growth steps executed (= number of distinct discrete times).
     pub steps: usize,
 }
 
-/// Runs the MPX decomposition with rate `beta > 0` and the given seed.
+/// Runs the MPX decomposition with rate `beta > 0` and the given seed,
+/// expanding with the ambient default frontier strategy (`PARDEC_FRONTIER`,
+/// else top-down).
 ///
 /// Larger `beta` activates centers earlier and more densely: more clusters,
 /// smaller radius, more cut edges.
@@ -36,11 +39,22 @@ pub struct MpxResult {
 /// # Panics
 /// Panics if `beta` is not strictly positive and finite.
 pub fn mpx(g: &CsrGraph, beta: f64, seed: u64) -> MpxResult {
+    mpx_with_frontier(g, beta, seed, FrontierStrategy::default_from_env())
+}
+
+/// As [`mpx`] with an explicit frontier expansion strategy. The clustering
+/// is byte-identical across strategies; only wall-clock time differs.
+pub fn mpx_with_frontier(
+    g: &CsrGraph,
+    beta: f64,
+    seed: u64,
+    strategy: FrontierStrategy,
+) -> MpxResult {
     assert!(beta > 0.0 && beta.is_finite(), "beta must be positive");
     let n = g.num_nodes();
     if n == 0 {
         return MpxResult {
-            clustering: GrowthEngine::new(g).finish(),
+            clustering: GrowthEngine::with_strategy(g, strategy).finish(),
             steps: 0,
         };
     }
@@ -59,7 +73,7 @@ pub fn mpx(g: &CsrGraph, beta: f64, seed: u64) -> MpxResult {
         .collect();
     schedule.sort_unstable();
 
-    let mut eng = GrowthEngine::new(g);
+    let mut eng = GrowthEngine::with_strategy(g, strategy);
     let mut next = 0usize; // cursor into the schedule
     let mut t = 0u32;
     let mut steps = 0usize;
@@ -85,17 +99,8 @@ pub fn mpx(g: &CsrGraph, beta: f64, seed: u64) -> MpxResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::{assert_mpx_strategies_agree, check_mpx as check};
     use pardec_graph::generators;
-
-    fn check(g: &CsrGraph, beta: f64, seed: u64) -> MpxResult {
-        let r = mpx(g, beta, seed);
-        r.clustering.validate(g).unwrap();
-        assert_eq!(
-            r.clustering.cluster_sizes().iter().sum::<usize>(),
-            g.num_nodes()
-        );
-        r
-    }
 
     #[test]
     fn covers_mesh() {
@@ -158,6 +163,12 @@ mod tests {
         let g = CsrGraph::empty(0);
         let r = mpx(&g, 0.5, 0);
         assert_eq!(r.clustering.num_clusters(), 0);
+    }
+
+    #[test]
+    fn frontier_strategies_produce_identical_decompositions() {
+        assert_mpx_strategies_agree(&generators::mesh(30, 30), 0.1, 3);
+        assert_mpx_strategies_agree(&generators::preferential_attachment(800, 5, 2), 0.25, 6);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Shared validation helpers for unit, integration, and property tests.
+//!
+//! The per-algorithm `check` helpers used to be copy-pasted into each
+//! module's test block; they live here once so that strategy-matrix tests —
+//! running an algorithm under every [`FrontierStrategy`] and demanding
+//! byte-identical output — don't triple the boilerplate. The module ships in
+//! the library (not behind `cfg(test)`) so the workspace-level integration
+//! tests and benches can reuse the same assertions; if this crate is ever
+//! published, gate it behind a `testing` cargo feature first — everything
+//! here panics on violation and is not meant for production call sites.
+
+use crate::cluster::{cluster, ClusterParams, ClusterResult};
+use crate::cluster2::{cluster2, Cluster2Result};
+use crate::mpx::{mpx_with_frontier, MpxResult};
+use pardec_graph::frontier::FrontierStrategy;
+use pardec_graph::CsrGraph;
+
+/// Runs CLUSTER(τ) and validates the partition (panics on violation).
+pub fn check_cluster(g: &CsrGraph, tau: usize, seed: u64) -> ClusterResult {
+    check_cluster_with(g, &ClusterParams::new(tau, seed))
+}
+
+/// As [`check_cluster`] with explicit parameters.
+pub fn check_cluster_with(g: &CsrGraph, params: &ClusterParams) -> ClusterResult {
+    let r = cluster(g, params);
+    r.clustering.validate(g).unwrap();
+    r
+}
+
+/// Runs CLUSTER2(τ) and validates the partition (panics on violation).
+pub fn check_cluster2(g: &CsrGraph, tau: usize, seed: u64) -> Cluster2Result {
+    check_cluster2_with(g, &ClusterParams::new(tau, seed))
+}
+
+/// As [`check_cluster2`] with explicit parameters.
+pub fn check_cluster2_with(g: &CsrGraph, params: &ClusterParams) -> Cluster2Result {
+    let r = cluster2(g, params);
+    r.clustering.validate(g).unwrap();
+    r
+}
+
+/// Runs MPX and validates the partition and its coverage (panics on
+/// violation).
+pub fn check_mpx(g: &CsrGraph, beta: f64, seed: u64) -> MpxResult {
+    let r = mpx_with_frontier(g, beta, seed, FrontierStrategy::default_from_env());
+    r.clustering.validate(g).unwrap();
+    assert_eq!(
+        r.clustering.cluster_sizes().iter().sum::<usize>(),
+        g.num_nodes(),
+        "MPX left nodes uncovered"
+    );
+    r
+}
+
+/// Runs `run` under every frontier strategy and asserts the outputs are
+/// byte-identical to the top-down reference — the engine's equivalence
+/// contract, checked at whatever altitude the caller picks (full
+/// decomposition results, diameter estimates, raw BFS arrays, …).
+pub fn assert_frontier_strategies_agree<T, F>(label: &str, run: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(FrontierStrategy) -> T,
+{
+    let reference = run(FrontierStrategy::TopDown);
+    for strategy in [FrontierStrategy::BottomUp, FrontierStrategy::Hybrid] {
+        let other = run(strategy);
+        assert_eq!(
+            reference, other,
+            "{label}: {strategy} diverged from topdown"
+        );
+    }
+    reference
+}
+
+/// Strategy matrix over CLUSTER: identical clustering and trace under every
+/// engine. Returns the top-down result for further assertions.
+pub fn assert_cluster_strategies_agree(g: &CsrGraph, tau: usize, seed: u64) -> ClusterResult {
+    assert_frontier_strategies_agree("cluster", |strategy| {
+        check_cluster_with(g, &ClusterParams::new(tau, seed).with_frontier(strategy))
+    })
+}
+
+/// Strategy matrix over CLUSTER2: identical clustering and probe radius
+/// under every engine.
+pub fn assert_cluster2_strategies_agree(g: &CsrGraph, tau: usize, seed: u64) -> Cluster2Result {
+    assert_frontier_strategies_agree("cluster2", |strategy| {
+        check_cluster2_with(g, &ClusterParams::new(tau, seed).with_frontier(strategy))
+    })
+}
+
+/// Strategy matrix over MPX: identical clustering under every engine.
+pub fn assert_mpx_strategies_agree(g: &CsrGraph, beta: f64, seed: u64) -> MpxResult {
+    assert_frontier_strategies_agree("mpx", |strategy| {
+        let r = mpx_with_frontier(g, beta, seed, strategy);
+        r.clustering.validate(g).unwrap();
+        r
+    })
+}

@@ -10,6 +10,7 @@
 //!   graphs, usually terminating after a handful of BFS runs on road-like
 //!   and mesh-like topologies.
 
+use crate::frontier::{single_source_bfs, FrontierStrategy};
 use crate::traversal::{bfs, bfs_with_parents};
 use crate::{components, CsrGraph, NodeId};
 use rayon::prelude::*;
@@ -49,7 +50,10 @@ pub struct DoubleSweep {
 /// Panics on the empty graph.
 pub fn double_sweep(g: &CsrGraph, start: NodeId) -> DoubleSweep {
     assert!(g.num_nodes() > 0, "double sweep on empty graph");
-    let first = bfs(g, start);
+    // A whole-graph frontier sweep: the one place in this module where the
+    // direction-optimizing engine pays off (the second sweep needs parent
+    // pointers and stays on the sequential routine).
+    let first = single_source_bfs(g, start, FrontierStrategy::default_from_env());
     let a = first.farthest().unwrap_or(start);
     let (second, parent) = bfs_with_parents(g, a);
     let b = second.farthest().unwrap_or(a);
@@ -84,7 +88,7 @@ pub fn ifub(g: &CsrGraph, start: NodeId) -> (u32, usize) {
     assert!(g.num_nodes() > 0, "ifub on empty graph");
     let sweep = double_sweep(g, start);
     let root = sweep.midpoint;
-    let root_bfs = bfs(g, root);
+    let root_bfs = single_source_bfs(g, root, FrontierStrategy::default_from_env());
     assert!(
         root_bfs.visited == g.num_nodes(),
         "ifub requires a connected graph"

@@ -1,0 +1,754 @@
+//! Direction-optimizing multi-source frontier engine.
+//!
+//! Every algorithm in the workspace — CLUSTER/CLUSTER2 growth (§3 of the
+//! paper), the diameter sandwich (§4), the MPX baseline, and the plain BFS
+//! primitives — advances one or more breadth-first waves level by level.
+//! This module centralizes that level-synchronous loop behind a single
+//! engine with three interchangeable expansion strategies:
+//!
+//! * [`FrontierStrategy::TopDown`] — classic push expansion: every frontier
+//!   node proposes itself to its unclaimed neighbours. Work per level is
+//!   `Θ(Σ deg(frontier))`, optimal while the frontier is small.
+//! * [`FrontierStrategy::BottomUp`] — pull expansion driven by a dense
+//!   frontier bitmap: every *unclaimed* node scans its own adjacency list
+//!   for claimed parents in the current frontier. Work per level is
+//!   `Θ(n/64 + Σ deg(unclaimed))`, which is far cheaper on the saturation
+//!   levels of low-diameter graphs where the frontier covers most arcs.
+//! * [`FrontierStrategy::Hybrid`] — the Beamer et al. direction-optimizing
+//!   heuristic (SC'12): switch to bottom-up when the frontier is still
+//!   growing and its out-degree sum exceeds `1/alpha` of the arcs incident
+//!   to unclaimed nodes, and back to top-down once the frontier shrinks
+//!   below `n/beta` nodes (see [`FrontierParams`]).
+//!
+//! # Determinism contract
+//!
+//! All three strategies produce **byte-identical** `owner`/`dist` arrays, at
+//! any thread count. Contention for an unclaimed node is always resolved by
+//! taking the *minimum* of the packed proposal `(owner << 32) | dist` over
+//! the node's in-frontier neighbours — smallest owner id first, then
+//! smallest distance:
+//!
+//! * top-down realizes the minimum with an atomic `fetch_min` propose phase
+//!   followed by an atomic `swap` claim phase (first-writer-wins on the
+//!   drained slot, value-determinate regardless of thread interleaving);
+//! * bottom-up realizes the *same* minimum with a per-node sequential scan
+//!   of the adjacency list.
+//!
+//! Because the claimed set and the claimed values per level are pure
+//! functions of the previous level, every downstream consumer — cluster
+//! ownership, quotient graphs, diameter estimates, HADI sketches — is
+//! reproducible across strategies, runs, and pool sizes. This is asserted
+//! end-to-end by `tests/proptests_frontier.rs` and
+//! `tests/determinism_threads.rs`.
+//!
+//! The default strategy honours the `PARDEC_FRONTIER` environment variable
+//! (`topdown` | `bottomup` | `hybrid`), so the whole test suite can be
+//! re-run under a different engine without touching code.
+
+use crate::traversal::BfsResult;
+use crate::{CsrGraph, NodeId, INFINITE_DIST, INVALID_NODE};
+use rayon::prelude::*;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Environment variable consulted by [`FrontierStrategy::default_from_env`].
+pub const FRONTIER_ENV: &str = "PARDEC_FRONTIER";
+
+/// How each level of a multi-source BFS wave is expanded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FrontierStrategy {
+    /// Push: frontier nodes propose to their unclaimed neighbours.
+    #[default]
+    TopDown,
+    /// Pull: unclaimed nodes scan their neighbours for frontier parents.
+    BottomUp,
+    /// Per-level direction switching via the Beamer edge-count heuristic.
+    Hybrid,
+}
+
+impl FrontierStrategy {
+    /// All strategies, in a stable order (useful for matrix tests/benches).
+    pub const ALL: [FrontierStrategy; 3] = [
+        FrontierStrategy::TopDown,
+        FrontierStrategy::BottomUp,
+        FrontierStrategy::Hybrid,
+    ];
+
+    /// Canonical lowercase name (the CLI / env-var spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontierStrategy::TopDown => "topdown",
+            FrontierStrategy::BottomUp => "bottomup",
+            FrontierStrategy::Hybrid => "hybrid",
+        }
+    }
+
+    /// Strategy selected by the `PARDEC_FRONTIER` environment variable, or
+    /// `None` when the variable is unset.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a misspelled CI matrix entry must
+    /// fail loudly rather than silently fall back to the default.
+    pub fn from_env() -> Option<FrontierStrategy> {
+        let raw = std::env::var(FRONTIER_ENV).ok()?;
+        match raw.parse() {
+            Ok(s) => Some(s),
+            Err(e) => panic!("{FRONTIER_ENV}: {e}"),
+        }
+    }
+
+    /// The ambient default: `PARDEC_FRONTIER` when set, else top-down.
+    pub fn default_from_env() -> FrontierStrategy {
+        Self::from_env().unwrap_or_default()
+    }
+}
+
+impl FromStr for FrontierStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "topdown" | "top-down" => Ok(FrontierStrategy::TopDown),
+            "bottomup" | "bottom-up" => Ok(FrontierStrategy::BottomUp),
+            "hybrid" => Ok(FrontierStrategy::Hybrid),
+            other => Err(format!(
+                "unknown frontier strategy {other:?} (expected topdown, bottomup, or hybrid)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FrontierStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tuning knobs of the [`FrontierStrategy::Hybrid`] direction heuristic.
+///
+/// The defaults are the values Beamer et al. report as robust across graph
+/// families: go bottom-up when `Σ deg(frontier) > unexplored_arcs / alpha`,
+/// return to top-down when `|frontier| < n / beta`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrontierParams {
+    /// Edge-count switch factor (paper value: 14).
+    pub alpha: usize,
+    /// Frontier-size switch-back factor (paper value: 24).
+    pub beta: usize,
+}
+
+impl Default for FrontierParams {
+    fn default() -> Self {
+        FrontierParams {
+            alpha: 14,
+            beta: 24,
+        }
+    }
+}
+
+/// Sentinel for "no proposal" in the packed proposal slots.
+const NO_PROPOSAL: u64 = u64::MAX;
+
+/// Below this many frontier out-edges a level is expanded sequentially —
+/// the scheduler overhead of a parallel pass dwarfs the work itself. The
+/// cutoff is data-dependent only, so the same path is taken at every pool
+/// size and the left-to-right claim order is preserved exactly.
+const SEQ_EDGE_CUTOFF: usize = 2048;
+
+/// Below this many nodes, bottom-up sweeps run sequentially (same rationale).
+const SEQ_NODE_CUTOFF: usize = 2048;
+
+#[inline]
+fn pack(owner: NodeId, dist: u32) -> u64 {
+    ((owner as u64) << 32) | dist as u64
+}
+
+#[inline]
+fn unpack(p: u64) -> (NodeId, u32) {
+    ((p >> 32) as NodeId, (p & 0xFFFF_FFFF) as u32)
+}
+
+/// Final per-node labels of an engine run (see [`FrontierEngine::into_parts`]).
+#[derive(Clone, Debug)]
+pub struct FrontierParts {
+    /// `owner[v]` = index (into the activation order) of the claiming
+    /// source, [`INVALID_NODE`] if unreached.
+    pub owner: Vec<NodeId>,
+    /// `dist[v]` = hops from `v` to its claiming source at activation time,
+    /// [`INFINITE_DIST`] if unreached.
+    pub dist: Vec<u32>,
+    /// Source nodes in activation order (`sources[owner[v]]` is `v`'s root).
+    pub sources: Vec<NodeId>,
+}
+
+/// Reusable multi-source frontier engine.
+///
+/// Sources may be activated up front (plain multi-source BFS) or
+/// incrementally between steps (staggered cluster growth à la CLUSTER /
+/// MPX); each claims the unclaimed nodes its wave reaches first, ties broken
+/// by the deterministic smallest-`(owner, dist)` rule described in the
+/// module docs.
+pub struct FrontierEngine<'g> {
+    g: &'g CsrGraph,
+    strategy: FrontierStrategy,
+    params: FrontierParams,
+    owner: Vec<AtomicU32>,
+    dist: Vec<AtomicU32>,
+    proposals: Vec<AtomicU64>,
+    /// Dense frontier-membership bitmap, (re)built per bottom-up step.
+    in_frontier: Vec<AtomicU64>,
+    frontier: Vec<NodeId>,
+    sources: Vec<NodeId>,
+    claimed: usize,
+    steps: usize,
+    bottom_up_steps: usize,
+    /// `Σ deg(v)` over unclaimed `v` — the heuristic's `m_u`.
+    unexplored_arcs: usize,
+    /// `Σ deg(v)` over the current frontier — the heuristic's `m_f`,
+    /// maintained incrementally (claims are summed once, at claim time).
+    frontier_degree: usize,
+    /// Frontier size before the previous expansion (the heuristic's
+    /// growing/shrinking signal).
+    prev_frontier_len: usize,
+    /// Current direction of the hybrid state machine.
+    bottom_up: bool,
+}
+
+impl<'g> FrontierEngine<'g> {
+    /// A fresh engine over `g` with no active sources.
+    pub fn new(g: &'g CsrGraph, strategy: FrontierStrategy) -> Self {
+        Self::with_params(g, strategy, FrontierParams::default())
+    }
+
+    /// As [`FrontierEngine::new`] with explicit heuristic parameters.
+    pub fn with_params(
+        g: &'g CsrGraph,
+        strategy: FrontierStrategy,
+        params: FrontierParams,
+    ) -> Self {
+        let n = g.num_nodes();
+        FrontierEngine {
+            g,
+            strategy,
+            params,
+            owner: (0..n).map(|_| AtomicU32::new(INVALID_NODE)).collect(),
+            dist: (0..n).map(|_| AtomicU32::new(INFINITE_DIST)).collect(),
+            proposals: (0..n).map(|_| AtomicU64::new(NO_PROPOSAL)).collect(),
+            in_frontier: Vec::new(),
+            frontier: Vec::new(),
+            sources: Vec::new(),
+            claimed: 0,
+            steps: 0,
+            bottom_up_steps: 0,
+            unexplored_arcs: g.num_arcs(),
+            frontier_degree: 0,
+            prev_frontier_len: 0,
+            bottom_up: false,
+        }
+    }
+
+    /// The strategy this engine expands with.
+    pub fn strategy(&self) -> FrontierStrategy {
+        self.strategy
+    }
+
+    /// Nodes claimed so far (sources included).
+    pub fn claimed(&self) -> usize {
+        self.claimed
+    }
+
+    /// Nodes not yet claimed by any source.
+    pub fn unclaimed(&self) -> usize {
+        self.g.num_nodes() - self.claimed
+    }
+
+    /// Level-expansion steps executed so far (the parallel-depth ledger).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// How many of those steps ran bottom-up (0 under pure top-down).
+    pub fn bottom_up_steps(&self) -> usize {
+        self.bottom_up_steps
+    }
+
+    /// Sources activated so far.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Current frontier size (active boundary nodes).
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Whether `v` has been claimed.
+    pub fn is_claimed(&self, v: NodeId) -> bool {
+        self.owner[v as usize].load(Ordering::Relaxed) != INVALID_NODE
+    }
+
+    /// Activates `v` as a new source with owner id `num_sources()`. Returns
+    /// `false` (and does nothing) if `v` is already claimed.
+    pub fn add_source(&mut self, v: NodeId) -> bool {
+        if self.is_claimed(v) {
+            return false;
+        }
+        let id = self.sources.len() as NodeId;
+        self.owner[v as usize].store(id, Ordering::Relaxed);
+        self.dist[v as usize].store(0, Ordering::Relaxed);
+        self.sources.push(v);
+        self.frontier.push(v);
+        self.claimed += 1;
+        let deg = self.g.degree(v);
+        self.unexplored_arcs -= deg;
+        self.frontier_degree += deg;
+        true
+    }
+
+    /// Iterator over currently unclaimed nodes, ascending (sequential scan).
+    pub fn unclaimed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.g.num_nodes() as NodeId)
+            .filter(move |&v| self.owner[v as usize].load(Ordering::Relaxed) == INVALID_NODE)
+    }
+
+    /// Executes one level expansion; returns the number of newly claimed
+    /// nodes. A step on an empty frontier is a counted no-op (the CLUSTER
+    /// round ledger charges it).
+    pub fn step(&mut self) -> usize {
+        self.steps += 1;
+        if self.frontier.is_empty() {
+            return 0;
+        }
+        let frontier_degree = self.frontier_degree;
+        let next = if self.choose_bottom_up(frontier_degree) {
+            self.bottom_up_steps += 1;
+            self.step_bottom_up()
+        } else {
+            self.step_top_down(frontier_degree)
+        };
+        self.prev_frontier_len = self.frontier.len();
+        // Sum each claim's degree once; it is both the next level's `m_f`
+        // and what leaves `m_u`. Integer addition is order-independent, so
+        // the parallel sum is exact at any pool size.
+        let claimed_degree: usize = if next.len() > SEQ_EDGE_CUTOFF {
+            next.par_iter().map(|&v| self.g.degree(v)).sum()
+        } else {
+            next.iter().map(|&v| self.g.degree(v)).sum()
+        };
+        self.unexplored_arcs -= claimed_degree;
+        self.frontier_degree = claimed_degree;
+        self.claimed += next.len();
+        self.frontier = next;
+        self.frontier.len()
+    }
+
+    /// Runs steps until the frontier dies out.
+    pub fn run(&mut self) {
+        while !self.frontier.is_empty() {
+            self.step();
+        }
+    }
+
+    /// Finalizes into the per-node label arrays.
+    pub fn into_parts(self) -> FrontierParts {
+        FrontierParts {
+            owner: self.owner.into_iter().map(AtomicU32::into_inner).collect(),
+            dist: self.dist.into_iter().map(AtomicU32::into_inner).collect(),
+            sources: self.sources,
+        }
+    }
+
+    /// Direction decision for this level. Depends only on aggregate counts,
+    /// so it is identical at every pool size.
+    fn choose_bottom_up(&mut self, frontier_degree: usize) -> bool {
+        match self.strategy {
+            FrontierStrategy::TopDown => false,
+            FrontierStrategy::BottomUp => true,
+            FrontierStrategy::Hybrid => {
+                if !self.bottom_up {
+                    // Beamer's switch needs the wave to still be growing:
+                    // without it, the tail of a long path (tiny frontier,
+                    // tiny unexplored remainder) would flip bottom-up and
+                    // pay the O(n/64) bitmap sweep per level for nothing.
+                    let growing = self.frontier.len() > self.prev_frontier_len;
+                    if growing && frontier_degree * self.params.alpha > self.unexplored_arcs {
+                        self.bottom_up = true;
+                    }
+                } else if self.frontier.len() * self.params.beta < self.g.num_nodes() {
+                    self.bottom_up = false;
+                }
+                self.bottom_up
+            }
+        }
+    }
+
+    /// Push expansion. Phase 1 publishes the packed proposal to every
+    /// unclaimed neighbour via `fetch_min`; phase 2 drains each proposed
+    /// slot exactly once with `swap`. The sequential fast path performs the
+    /// same min-merge in frontier order, yielding the identical claim set
+    /// and values. The *order* of the next-frontier vector is internal
+    /// state only: a node proposed from several fold chunks is drained by
+    /// whichever worker swaps first, so its position can race under a
+    /// multi-worker pool — which is never observable, because claims are
+    /// min-merged and never order-sensitive. Do not expose or depend on
+    /// frontier ordering.
+    fn step_top_down(&self, frontier_degree: usize) -> Vec<NodeId> {
+        let g = self.g;
+        let owner = &self.owner;
+        let dist = &self.dist;
+        let proposals = &self.proposals;
+
+        if frontier_degree <= SEQ_EDGE_CUTOFF {
+            let mut candidates = Vec::new();
+            for &u in &self.frontier {
+                let prop = pack(
+                    owner[u as usize].load(Ordering::Relaxed),
+                    dist[u as usize].load(Ordering::Relaxed) + 1,
+                );
+                for &v in g.neighbors(u) {
+                    if owner[v as usize].load(Ordering::Relaxed) == INVALID_NODE {
+                        let cur = proposals[v as usize].load(Ordering::Relaxed);
+                        if cur == NO_PROPOSAL {
+                            candidates.push(v);
+                        }
+                        if prop < cur {
+                            proposals[v as usize].store(prop, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            let mut next = Vec::with_capacity(candidates.len());
+            for &v in &candidates {
+                let p = proposals[v as usize].swap(NO_PROPOSAL, Ordering::Relaxed);
+                if p != NO_PROPOSAL {
+                    let (o, d) = unpack(p);
+                    owner[v as usize].store(o, Ordering::Relaxed);
+                    dist[v as usize].store(d, Ordering::Relaxed);
+                    next.push(v);
+                }
+            }
+            return next;
+        }
+
+        let candidates: Vec<NodeId> = self
+            .frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &u| {
+                let prop = pack(
+                    owner[u as usize].load(Ordering::Relaxed),
+                    dist[u as usize].load(Ordering::Relaxed) + 1,
+                );
+                for &v in g.neighbors(u) {
+                    if owner[v as usize].load(Ordering::Relaxed) == INVALID_NODE {
+                        proposals[v as usize].fetch_min(prop, Ordering::Relaxed);
+                        acc.push(v);
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+
+        candidates
+            .par_iter()
+            .fold(Vec::new, |mut acc, &v| {
+                let p = proposals[v as usize].swap(NO_PROPOSAL, Ordering::Relaxed);
+                if p != NO_PROPOSAL {
+                    let (o, d) = unpack(p);
+                    owner[v as usize].store(o, Ordering::Relaxed);
+                    dist[v as usize].store(d, Ordering::Relaxed);
+                    acc.push(v);
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    }
+
+    /// Pull expansion: rebuild the dense frontier bitmap, then let every
+    /// unclaimed node take the minimum packed proposal over its in-frontier
+    /// neighbours. No early exit — the full minimum is what keeps bottom-up
+    /// byte-identical to top-down's `fetch_min`. The next frontier comes out
+    /// in ascending node order (a different order than top-down produces,
+    /// which is unobservable: claims are min-merged, never order-sensitive).
+    fn step_bottom_up(&mut self) -> Vec<NodeId> {
+        let n = self.g.num_nodes();
+        let words = n.div_ceil(64);
+        if self.in_frontier.len() != words {
+            self.in_frontier = (0..words).map(|_| AtomicU64::new(0)).collect();
+        }
+        let bitmap = &self.in_frontier;
+        let sequential = n <= SEQ_NODE_CUTOFF;
+        if sequential {
+            for w in bitmap {
+                w.store(0, Ordering::Relaxed);
+            }
+            for &u in &self.frontier {
+                bitmap[u as usize / 64].fetch_or(1u64 << (u % 64), Ordering::Relaxed);
+            }
+        } else {
+            bitmap
+                .par_iter()
+                .for_each(|w| w.store(0, Ordering::Relaxed));
+            self.frontier.par_iter().for_each(|&u| {
+                bitmap[u as usize / 64].fetch_or(1u64 << (u % 64), Ordering::Relaxed);
+            });
+        }
+
+        let g = self.g;
+        let owner = &self.owner;
+        let dist = &self.dist;
+        let scan = |v: NodeId| -> Option<NodeId> {
+            if owner[v as usize].load(Ordering::Relaxed) != INVALID_NODE {
+                return None;
+            }
+            let mut best = NO_PROPOSAL;
+            for &u in g.neighbors(v) {
+                if bitmap[u as usize / 64].load(Ordering::Relaxed) >> (u % 64) & 1 == 1 {
+                    let p = pack(
+                        owner[u as usize].load(Ordering::Relaxed),
+                        dist[u as usize].load(Ordering::Relaxed) + 1,
+                    );
+                    best = best.min(p);
+                }
+            }
+            if best == NO_PROPOSAL {
+                return None;
+            }
+            let (o, d) = unpack(best);
+            owner[v as usize].store(o, Ordering::Relaxed);
+            dist[v as usize].store(d, Ordering::Relaxed);
+            Some(v)
+        };
+        if sequential {
+            (0..n as NodeId).filter_map(scan).collect()
+        } else {
+            (0..n as NodeId).into_par_iter().filter_map(scan).collect()
+        }
+    }
+}
+
+/// Multi-source BFS with per-source ownership through the engine.
+///
+/// Returns the [`BfsResult`] together with `owner[v]` = index into `sources`
+/// of the claiming source ([`INVALID_NODE`] if unreachable). A node listed
+/// twice in `sources` keeps its first owner. For every strategy,
+/// `owner[v]` is the smallest source index among the sources nearest to `v`.
+pub fn multi_source_bfs(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    strategy: FrontierStrategy,
+) -> (BfsResult, Vec<NodeId>) {
+    let mut eng = FrontierEngine::new(g, strategy);
+    // The engine skips duplicate sources, compressing its internal owner
+    // ids; record each activated source's position in the caller's slice so
+    // the returned owners can be mapped back to the documented "index into
+    // `sources`" contract. Compression is monotone, so the smallest-owner
+    // tie-break picks the same winner either way.
+    let mut original_index: Vec<NodeId> = Vec::with_capacity(sources.len());
+    for (i, &s) in sources.iter().enumerate() {
+        if eng.add_source(s) {
+            original_index.push(i as NodeId);
+        }
+    }
+    eng.run();
+    let visited = eng.claimed();
+    let mut parts = eng.into_parts();
+    if original_index.len() != sources.len() {
+        for o in parts.owner.iter_mut() {
+            if *o != INVALID_NODE {
+                *o = original_index[*o as usize];
+            }
+        }
+    }
+    let levels = parts
+        .dist
+        .iter()
+        .copied()
+        .filter(|&d| d != INFINITE_DIST)
+        .max()
+        .unwrap_or(0);
+    (
+        BfsResult {
+            dist: parts.dist,
+            visited,
+            levels,
+        },
+        parts.owner,
+    )
+}
+
+/// Single-source BFS through the engine.
+pub fn single_source_bfs(g: &CsrGraph, src: NodeId, strategy: FrontierStrategy) -> BfsResult {
+    multi_source_bfs(g, std::slice::from_ref(&src), strategy).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+
+    fn shapes() -> Vec<(&'static str, CsrGraph)> {
+        vec![
+            ("mesh", generators::mesh(13, 19)),
+            ("social", generators::preferential_attachment(1500, 6, 3)),
+            ("star", generators::star(120)),
+            ("path", generators::path(70)),
+            (
+                "disconnected",
+                generators::disjoint_union(&generators::mesh(8, 9), &generators::cycle(17)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn strategies_agree_single_source() {
+        for (name, g) in shapes() {
+            let reference = traversal::bfs(&g, 0);
+            for strat in FrontierStrategy::ALL {
+                let r = single_source_bfs(&g, 0, strat);
+                assert_eq!(reference.dist, r.dist, "{name}/{strat}");
+                assert_eq!(reference.visited, r.visited, "{name}/{strat}");
+                assert_eq!(reference.levels, r.levels, "{name}/{strat}");
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_multi_source() {
+        for (name, g) in shapes() {
+            let n = g.num_nodes() as NodeId;
+            let sources = [0, n / 3, n / 2, n - 1, n / 3];
+            let (base_r, base_o) = multi_source_bfs(&g, &sources, FrontierStrategy::TopDown);
+            for strat in [FrontierStrategy::BottomUp, FrontierStrategy::Hybrid] {
+                let (r, o) = multi_source_bfs(&g, &sources, strat);
+                assert_eq!(base_r.dist, r.dist, "{name}/{strat}");
+                assert_eq!(base_o, o, "{name}/{strat}");
+                assert_eq!(base_r.visited, r.visited, "{name}/{strat}");
+                assert_eq!(base_r.levels, r.levels, "{name}/{strat}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_is_smallest_nearest_source() {
+        // Path 0-1-2-3-4, sources at both ends: node 2 is equidistant and
+        // must go to the first-listed source under every strategy.
+        let g = generators::path(5);
+        for strat in FrontierStrategy::ALL {
+            let (r, owner) = multi_source_bfs(&g, &[0, 4], strat);
+            assert_eq!(r.dist, vec![0, 1, 2, 1, 0], "{strat}");
+            assert_eq!(owner, vec![0, 0, 0, 1, 1], "{strat}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_keep_first_owner() {
+        let g = generators::path(3);
+        for strat in FrontierStrategy::ALL {
+            let (r, owner) = multi_source_bfs(&g, &[1, 1], strat);
+            assert_eq!(r.dist, vec![1, 0, 1], "{strat}");
+            assert_eq!(owner, vec![0, 0, 0], "{strat}");
+        }
+    }
+
+    #[test]
+    fn owners_after_duplicates_keep_original_indices() {
+        // Sources [4, 4, 0] on a path: the duplicate is skipped internally,
+        // but node 0's region must still report owner index 2 (its position
+        // in the caller's slice), and the contested middle goes to the
+        // earlier-listed source 4.
+        let g = generators::path(5);
+        for strat in FrontierStrategy::ALL {
+            let (r, owner) = multi_source_bfs(&g, &[4, 4, 0], strat);
+            assert_eq!(r.dist, vec![0, 1, 2, 1, 0], "{strat}");
+            assert_eq!(owner, vec![2, 2, 0, 0, 0], "{strat}");
+        }
+    }
+
+    #[test]
+    fn hybrid_switches_on_dense_graphs() {
+        // A star saturates immediately: the single middle level must run
+        // bottom-up under the hybrid heuristic.
+        let g = generators::star(4000);
+        let mut eng = FrontierEngine::new(&g, FrontierStrategy::Hybrid);
+        eng.add_source(0);
+        eng.run();
+        assert!(eng.bottom_up_steps() > 0, "hybrid never went bottom-up");
+        assert_eq!(eng.claimed(), g.num_nodes());
+    }
+
+    #[test]
+    fn hybrid_stays_top_down_on_long_paths() {
+        // A path frontier has out-degree ≤ 2: the switch condition never
+        // fires and hybrid degenerates to pure top-down.
+        let g = generators::path(300);
+        let mut eng = FrontierEngine::new(&g, FrontierStrategy::Hybrid);
+        eng.add_source(0);
+        eng.run();
+        assert_eq!(eng.bottom_up_steps(), 0);
+        assert_eq!(eng.claimed(), 300);
+    }
+
+    #[test]
+    fn staggered_activation_matches_across_strategies() {
+        // Activate sources mid-run (the CLUSTER/MPX usage pattern): claimed
+        // labels must still agree between strategies.
+        let g = generators::mesh(20, 20);
+        let run = |strat| {
+            let mut eng = FrontierEngine::new(&g, strat);
+            eng.add_source(0);
+            eng.step();
+            eng.step();
+            eng.add_source(399);
+            eng.add_source(210);
+            eng.run();
+            let parts = eng.into_parts();
+            (parts.owner, parts.dist, parts.sources)
+        };
+        let base = run(FrontierStrategy::TopDown);
+        assert_eq!(base, run(FrontierStrategy::BottomUp));
+        assert_eq!(base, run(FrontierStrategy::Hybrid));
+    }
+
+    #[test]
+    fn empty_graph_and_empty_sources() {
+        let g = CsrGraph::empty(0);
+        let (r, owner) = multi_source_bfs(&g, &[], FrontierStrategy::Hybrid);
+        assert_eq!(r.visited, 0);
+        assert!(owner.is_empty());
+
+        let g = generators::path(4);
+        let (r, owner) = multi_source_bfs(&g, &[], FrontierStrategy::BottomUp);
+        assert_eq!(r.visited, 0);
+        assert_eq!(r.levels, 0);
+        assert!(owner.iter().all(|&o| o == INVALID_NODE));
+        assert!(r.dist.iter().all(|&d| d == INFINITE_DIST));
+    }
+
+    #[test]
+    fn counted_noop_step_on_empty_frontier() {
+        let g = generators::path(2);
+        let mut eng = FrontierEngine::new(&g, FrontierStrategy::Hybrid);
+        assert_eq!(eng.step(), 0);
+        assert_eq!(eng.steps(), 1);
+        assert_eq!(eng.claimed(), 0);
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        for strat in FrontierStrategy::ALL {
+            assert_eq!(strat.name().parse::<FrontierStrategy>().unwrap(), strat);
+            assert_eq!(strat.to_string(), strat.name());
+        }
+        assert_eq!("top-down".parse(), Ok(FrontierStrategy::TopDown));
+        assert_eq!("bottom-up".parse(), Ok(FrontierStrategy::BottomUp));
+        assert!("beamer".parse::<FrontierStrategy>().is_err());
+        assert_eq!(FrontierStrategy::default(), FrontierStrategy::TopDown);
+    }
+}

@@ -12,7 +12,9 @@
 //!   Figure 1);
 //! * sequential and level-synchronous **parallel BFS**, plus multi-source
 //!   BFS with per-source ownership — the primitive underlying disjoint
-//!   cluster growth;
+//!   cluster growth — backed by a direction-optimizing [`frontier`] engine
+//!   with interchangeable top-down / bottom-up / hybrid expansion
+//!   strategies, all byte-identical by construction;
 //! * exact **diameter** computation (double sweep, iFUB, all-pairs BFS) used
 //!   as ground truth in the experiments;
 //! * **quotient graphs** of a clustering, both unweighted and weighted as
@@ -38,6 +40,7 @@ pub mod components;
 pub mod contract;
 pub mod csr;
 pub mod diameter;
+pub mod frontier;
 pub mod generators;
 pub mod io;
 pub mod quotient;
@@ -59,13 +62,15 @@ pub const INFINITE_DIST: u32 = u32::MAX;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use frontier::FrontierStrategy;
 pub use weighted::WeightedGraph;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::builder::GraphBuilder;
     pub use crate::csr::CsrGraph;
+    pub use crate::frontier::FrontierStrategy;
     pub use crate::weighted::WeightedGraph;
-    pub use crate::{components, diameter, generators, io, quotient, stats, traversal};
+    pub use crate::{components, diameter, frontier, generators, io, quotient, stats, traversal};
     pub use crate::{NodeId, INFINITE_DIST, INVALID_NODE};
 }

@@ -3,13 +3,15 @@
 //!
 //! The multi-source variant is the primitive behind disjoint cluster growth
 //! (§3 of the paper): every source claims the nodes it reaches first, ties
-//! broken deterministically by smaller owner id in the sequential routine and
-//! by atomic first-writer-wins in the parallel one (the paper allows
-//! arbitrary tie-breaking).
+//! broken deterministically by the smallest owner id (the paper allows
+//! arbitrary tie-breaking). Everything except the plain sequential [`bfs`]
+//! is backed by the [`crate::frontier`] engine; [`bfs`] itself stays a
+//! direct queue-based implementation on purpose — it is the simple,
+//! independent reference that the engine's property tests
+//! (`tests/proptests_frontier.rs`) compare against.
 
+use crate::frontier::{self, FrontierStrategy};
 use crate::{CsrGraph, NodeId, INFINITE_DIST, INVALID_NODE};
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Result of a (single- or multi-source) BFS.
 #[derive(Clone, Debug)]
@@ -44,8 +46,42 @@ impl BfsResult {
 }
 
 /// Sequential BFS from a single source.
+///
+/// Deliberately *not* routed through the frontier engine: this is the
+/// trivially-auditable oracle used to validate the engine, and the inner
+/// loop of the outer-parallel routines in [`crate::diameter`] (BFS from
+/// every source in parallel), where a nested parallel engine would only add
+/// overhead.
 pub fn bfs(g: &CsrGraph, src: NodeId) -> BfsResult {
-    bfs_multi(g, std::slice::from_ref(&src)).0
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITE_DIST; n];
+    let mut frontier = vec![src];
+    dist[src as usize] = 0;
+    let mut visited = 1usize;
+    let mut level = 0u32;
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == INFINITE_DIST {
+                    dist[v as usize] = level + 1;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level += 1;
+        visited += next.len();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    BfsResult {
+        dist,
+        visited,
+        levels: level,
+    }
 }
 
 /// Sequential BFS that also records parent pointers (for path extraction,
@@ -87,110 +123,27 @@ pub fn bfs_with_parents(g: &CsrGraph, src: NodeId) -> (BfsResult, Vec<NodeId>) {
     )
 }
 
-/// Sequential multi-source BFS with ownership: every node reached is claimed
-/// by the source whose wave arrives first (smaller source index on ties).
+/// Multi-source BFS with ownership: every node reached is claimed by the
+/// source whose wave arrives first (smaller source index on ties).
 ///
 /// Returns the BFS result together with `owner[v]` = index into `sources` of
-/// the claiming source ([`INVALID_NODE`] if unreachable).
+/// the claiming source ([`INVALID_NODE`] if unreachable). Delegates to the
+/// [`crate::frontier`] engine's top-down strategy; callers wanting the
+/// bottom-up or hybrid engine should use
+/// [`frontier::multi_source_bfs`] directly — all strategies produce
+/// identical output.
 pub fn bfs_multi(g: &CsrGraph, sources: &[NodeId]) -> (BfsResult, Vec<NodeId>) {
-    let n = g.num_nodes();
-    let mut dist = vec![INFINITE_DIST; n];
-    let mut owner = vec![INVALID_NODE; n];
-    let mut frontier: Vec<NodeId> = Vec::with_capacity(sources.len());
-    for (i, &s) in sources.iter().enumerate() {
-        // A node listed twice keeps its first owner.
-        if dist[s as usize] == INFINITE_DIST {
-            dist[s as usize] = 0;
-            owner[s as usize] = i as NodeId;
-            frontier.push(s);
-        }
-    }
-    let mut visited = frontier.len();
-    let mut level = 0u32;
-    let mut next = Vec::new();
-    while !frontier.is_empty() {
-        next.clear();
-        for &u in &frontier {
-            let o = owner[u as usize];
-            for &v in g.neighbors(u) {
-                if dist[v as usize] == INFINITE_DIST {
-                    dist[v as usize] = level + 1;
-                    owner[v as usize] = o;
-                    next.push(v);
-                }
-            }
-        }
-        if next.is_empty() {
-            break;
-        }
-        level += 1;
-        visited += next.len();
-        std::mem::swap(&mut frontier, &mut next);
-    }
-    (
-        BfsResult {
-            dist,
-            visited,
-            levels: level,
-        },
-        owner,
-    )
+    frontier::multi_source_bfs(g, sources, FrontierStrategy::TopDown)
 }
 
 /// Level-synchronous parallel BFS from a single source.
 ///
-/// Each level expands the whole frontier in parallel; a node is claimed with
-/// a compare-and-swap on its distance slot, so every node is pushed to the
-/// next frontier exactly once. Distances are identical to sequential BFS.
-///
-/// Under a multi-threaded pool, *which* expansion wins the CAS — and hence a
-/// node's position within the intermediate frontier vector — can vary
-/// between runs, but every claim in a level stores the same distance, so
-/// `dist`, `visited`, and `levels` are deterministic at any thread count.
+/// Each level expands the whole frontier in parallel through the
+/// [`crate::frontier`] engine; a node is claimed with an atomic min-merge on
+/// its proposal slot, so distances — and every other observable — are
+/// identical to sequential BFS at any thread count.
 pub fn bfs_parallel(g: &CsrGraph, src: NodeId) -> BfsResult {
-    let n = g.num_nodes();
-    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INFINITE_DIST)).collect();
-    dist[src as usize].store(0, Ordering::Relaxed);
-    let mut frontier = vec![src];
-    let mut visited = 1usize;
-    let mut level = 0u32;
-    while !frontier.is_empty() {
-        let next_level = level + 1;
-        let next: Vec<NodeId> = frontier
-            .par_iter()
-            .fold(Vec::new, |mut acc, &u| {
-                for &v in g.neighbors(u) {
-                    if dist[v as usize]
-                        .compare_exchange(
-                            INFINITE_DIST,
-                            next_level,
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        )
-                        .is_ok()
-                    {
-                        acc.push(v);
-                    }
-                }
-                acc
-            })
-            .reduce(Vec::new, |mut a, mut b| {
-                a.append(&mut b);
-                a
-            });
-        if next.is_empty() {
-            break;
-        }
-        level = next_level;
-        visited += next.len();
-        frontier = next;
-    }
-    let dist: Vec<u32> = dist.into_iter().map(AtomicU32::into_inner).collect();
-    BfsResult {
-        dist,
-        visited,
-        levels: level,
-    }
+    frontier::single_source_bfs(g, src, FrontierStrategy::TopDown)
 }
 
 /// Eccentricity of `u`: the maximum BFS distance to any reachable node.
@@ -202,75 +155,10 @@ pub fn eccentricity(g: &CsrGraph, u: NodeId) -> u32 {
 /// top-down frontier expansion to bottom-up "pull" sweeps when the frontier
 /// covers a large fraction of the remaining edges — the standard HPC
 /// optimization for low-diameter graphs, where the middle levels touch most
-/// of the graph. Produces distances identical to [`bfs`].
+/// of the graph. Produces distances identical to [`bfs`]. This is the
+/// [`crate::frontier`] engine's hybrid strategy.
 pub fn bfs_direction_optimizing(g: &CsrGraph, src: NodeId) -> BfsResult {
-    let n = g.num_nodes();
-    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INFINITE_DIST)).collect();
-    dist[src as usize].store(0, Ordering::Relaxed);
-    let mut frontier = vec![src];
-    let mut visited = 1usize;
-    let mut level = 0u32;
-    // Heuristic switch: go bottom-up while the frontier's out-degree exceeds
-    // 1/alpha of the unexplored edges.
-    const ALPHA: usize = 14;
-    while !frontier.is_empty() {
-        let next_level = level + 1;
-        let frontier_degree: usize = frontier.iter().map(|&u| g.degree(u)).sum();
-        let unexplored = g.num_arcs().saturating_sub(2 * visited);
-        let bottom_up = frontier_degree * ALPHA > unexplored.max(1);
-        let next: Vec<NodeId> = if bottom_up {
-            // Pull: every unvisited vertex scans its neighbours for a parent
-            // in the current frontier (dist == level).
-            (0..n as NodeId)
-                .into_par_iter()
-                .filter(|&v| {
-                    dist[v as usize].load(Ordering::Relaxed) == INFINITE_DIST
-                        && g.neighbors(v)
-                            .iter()
-                            .any(|&u| dist[u as usize].load(Ordering::Relaxed) == level)
-                })
-                .map(|v| {
-                    dist[v as usize].store(next_level, Ordering::Relaxed);
-                    v
-                })
-                .collect()
-        } else {
-            frontier
-                .par_iter()
-                .fold(Vec::new, |mut acc, &u| {
-                    for &v in g.neighbors(u) {
-                        if dist[v as usize]
-                            .compare_exchange(
-                                INFINITE_DIST,
-                                next_level,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            )
-                            .is_ok()
-                        {
-                            acc.push(v);
-                        }
-                    }
-                    acc
-                })
-                .reduce(Vec::new, |mut a, mut b| {
-                    a.append(&mut b);
-                    a
-                })
-        };
-        if next.is_empty() {
-            break;
-        }
-        level = next_level;
-        visited += next.len();
-        frontier = next;
-    }
-    let dist: Vec<u32> = dist.into_iter().map(AtomicU32::into_inner).collect();
-    BfsResult {
-        dist,
-        visited,
-        levels: level,
-    }
+    frontier::single_source_bfs(g, src, FrontierStrategy::Hybrid)
 }
 
 #[cfg(test)]
@@ -322,6 +210,23 @@ mod tests {
         let (r, owner) = bfs_multi(&g, &[1, 1]);
         assert_eq!(r.dist, vec![1, 0, 1]);
         assert_eq!(owner, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn multi_source_matches_per_source_minimum() {
+        let g = generators::mesh(9, 11);
+        let sources = [3u32, 57, 90];
+        let (r, owner) = bfs_multi(&g, &sources);
+        for (v, (&dv, &ov)) in r.dist.iter().zip(&owner).enumerate() {
+            let (best_d, best_i) = sources
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (bfs(&g, s).dist[v], i as NodeId))
+                .min()
+                .unwrap();
+            assert_eq!(dv, best_d, "node {v}");
+            assert_eq!(ov, best_i, "node {v}");
+        }
     }
 
     #[test]

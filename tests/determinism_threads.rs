@@ -68,6 +68,72 @@ fn diameter_is_byte_identical_across_pool_sizes() {
 }
 
 #[test]
+fn mpx_is_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        let (one, four) = on_both_pools(|| {
+            let r = mpx(&g, 0.15, 42);
+            (r.clustering, r.steps)
+        });
+        assert_eq!(one, four, "mpx() diverged on {name}");
+    }
+}
+
+#[test]
+fn weighted_cluster_is_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        // Derive deterministic weights from the unweighted workload graph.
+        let edges: Vec<(NodeId, NodeId, u64)> = g
+            .edges()
+            .map(|(u, v)| (u, v, u64::from((u * 31 + v) % 7) + 1))
+            .collect();
+        let wg = WeightedGraph::from_edges(g.num_nodes(), &edges);
+        let (one, four) = on_both_pools(|| weighted_cluster(&wg, &ClusterParams::new(4, 42)));
+        assert_eq!(one, four, "weighted_cluster() diverged on {name}");
+    }
+}
+
+/// The frontier engine's full contract in one matrix: for every strategy,
+/// 1-thread and 4-thread pools agree, and all strategies agree with each
+/// other — over raw multi-source BFS and over the full decomposition.
+#[test]
+fn frontier_strategies_byte_identical_across_pool_sizes() {
+    use pardec::graph::frontier::{multi_source_bfs, FrontierStrategy};
+    for (name, g) in workload_graphs() {
+        let n = g.num_nodes() as NodeId;
+        let sources: Vec<NodeId> = (0..16).map(|i| i * (n / 16)).collect();
+        let mut bfs_outputs = Vec::new();
+        let mut cluster_outputs = Vec::new();
+        for strategy in FrontierStrategy::ALL {
+            let (one, four) = on_both_pools(|| {
+                let (r, owner) = multi_source_bfs(&g, &sources, strategy);
+                (r.dist, owner, r.visited, r.levels)
+            });
+            assert_eq!(one, four, "msbfs/{strategy} diverged on {name}");
+            bfs_outputs.push(one);
+
+            let (one, four) = on_both_pools(|| {
+                let r = cluster(&g, &ClusterParams::new(8, 42).with_frontier(strategy));
+                r.clustering
+            });
+            assert_eq!(one, four, "cluster/{strategy} diverged on {name}");
+            cluster_outputs.push(one);
+        }
+        for (output, strategy) in bfs_outputs.iter().zip(FrontierStrategy::ALL) {
+            assert_eq!(
+                &bfs_outputs[0], output,
+                "msbfs strategies disagree on {name} ({strategy} vs topdown)"
+            );
+        }
+        for (output, strategy) in cluster_outputs.iter().zip(FrontierStrategy::ALL) {
+            assert_eq!(
+                &cluster_outputs[0], output,
+                "cluster strategies disagree on {name} ({strategy} vs topdown)"
+            );
+        }
+    }
+}
+
+#[test]
 fn hadi_is_byte_identical_across_pool_sizes() {
     for (name, g) in workload_graphs() {
         let (one, four) = on_both_pools(|| {
