@@ -1,55 +1,218 @@
-//! Criterion bench: the MR emulation itself — Fact 1 primitives (sort,
-//! prefix sum), a generic aggregation round, and a vertex-program BFS.
+//! MR-emulation bench: the radix-shuffle engine against the seed-era naive
+//! engine on a shuffle-dominated aggregation round, the map-side combiner's
+//! ledger on a power-law broadcast superstep, and the Fact 1 primitives —
+//! one JSON line per configuration (the `bench_frontier` format).
+//!
+//! ```text
+//! cargo bench -p pardec-bench --bench bench_mr_primitives
+//! ```
+//!
+//! Scale with `--scale {ci,default,full}` or `PARDEC_SCALE`. Every
+//! radix-vs-naive comparison asserts that the two engines produce the same
+//! key → aggregate multiset before its timing is reported, and the combiner
+//! rows assert that the post-combine volume shrinks by the average-degree
+//! factor when the sender side is a single map chunk — the bench doubles as
+//! an end-to-end equivalence and accounting check.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pardec_bench::workloads::Scale;
+use pardec_bench::{scale_from_args, timed};
 use pardec_graph::generators;
 use pardec_mr::algo::mr_bfs;
 use pardec_mr::primitives::{mr_prefix_sum, mr_sort};
-use pardec_mr::{MrConfig, MrEngine};
+use pardec_mr::{Min, MrConfig, MrEngine, VertexEngine};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
-fn bench_mr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mr");
-    let items: Vec<u64> = (0..100_000u64)
-        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+const THREAD_CONFIGS: [usize; 3] = [1, 2, 4];
+
+/// The seed-era round executor, kept verbatim as the naive baseline: a
+/// sequential routing pass into per-bucket growable vectors, then a
+/// per-partition `HashMap` group-by with parallel reducers.
+fn naive_aggregate_round(input: &[(u32, u64)], partitions: usize) -> Vec<(u32, u64)> {
+    use rayon::prelude::*;
+    type DetState = BuildHasherDefault<DefaultHasher>;
+    // Both contenders take the input by value (the seed bench cloned inside
+    // the measured closure too), so the copy cost is charged equally.
+    let pairs = input.to_vec();
+    let mut buckets: Vec<Vec<(u32, u64)>> = (0..partitions).map(|_| Vec::new()).collect();
+    for (k, v) in pairs {
+        let p = pardec_mr::shuffle::partition_of(&k, partitions);
+        buckets[p].push((k, v));
+    }
+    buckets
+        .into_par_iter()
+        .map(|bucket| {
+            let mut groups: HashMap<u32, Vec<u64>, DetState> = HashMap::default();
+            for (k, v) in bucket {
+                groups.entry(k).or_default().push(v);
+            }
+            groups
+                .into_iter()
+                .map(|(k, vs)| (k, vs.into_iter().sum::<u64>()))
+                .collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>()
+        .concat()
+}
+
+fn radix_aggregate_round(input: &[(u32, u64)], partitions: usize) -> Vec<(u32, u64)> {
+    let mut eng = MrEngine::new(MrConfig::with_partitions(partitions));
+    eng.round(input.to_vec(), |&k, vs| {
+        vec![(k, vs.into_iter().sum::<u64>())]
+    })
+    .expect("accounting-only round cannot fail")
+}
+
+/// Best-of-three wall-clock of `f` inside a pool of `threads` workers.
+fn best_of_3<T: Send>(threads: usize, f: impl Fn() -> T + Sync + Send) -> (T, f64) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail");
+    let _ = pool.install(&f); // warm-up
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..3 {
+        let (r, secs) = timed(|| pool.install(&f));
+        best = best.min(secs);
+        result = Some(r);
+    }
+    (result.expect("ran at least once"), best)
+}
+
+/// The shuffle-dominated leg: many pairs, many keys, trivial reducers — the
+/// round's cost *is* the shuffle, which is what the radix refactor targets.
+fn bench_shuffle(scale: Scale) {
+    let pairs = match scale {
+        Scale::Ci => 400_000usize,
+        Scale::Default => 1_500_000,
+        Scale::Full => 6_000_000,
+    };
+    let keys = (pairs / 8) as u64;
+    let input: Vec<(u32, u64)> = (0..pairs as u64)
+        .map(|i| ((i.wrapping_mul(0x9E3779B97F4A7C15) % keys) as u32, i))
         .collect();
-    group.bench_function("sort-100k", |b| {
-        b.iter(|| {
-            let mut eng = MrEngine::new(MrConfig::default());
-            mr_sort(&mut eng, items.clone(), 42).unwrap()
-        })
-    });
-    let values: Vec<u64> = (0..100_000u64).map(|i| i % 17).collect();
-    group.bench_function("prefix-sum-100k", |b| {
-        b.iter(|| {
-            let mut eng = MrEngine::new(MrConfig::default());
-            mr_prefix_sum(&mut eng, values.clone()).unwrap()
-        })
-    });
-    let pairs: Vec<(u32, u64)> = (0..100_000u32).map(|i| (i % 1024, i as u64)).collect();
-    group.bench_function("aggregate-round-100k", |b| {
-        b.iter(|| {
-            let mut eng = MrEngine::new(MrConfig::default());
-            eng.round(pairs.clone(), |&k, vs: Vec<u64>| {
-                vec![(k, vs.into_iter().sum::<u64>())]
+    for (threads, partitions) in THREAD_CONFIGS.iter().flat_map(|&t| [(t, 4usize), (t, 8)]) {
+        let (mut naive_out, naive_secs) =
+            best_of_3(threads, || naive_aggregate_round(&input, partitions));
+        let (mut radix_out, radix_secs) =
+            best_of_3(threads, || radix_aggregate_round(&input, partitions));
+        naive_out.sort_unstable();
+        radix_out.sort_unstable();
+        assert_eq!(
+            naive_out, radix_out,
+            "radix and naive aggregates diverged at {threads} threads"
+        );
+        println!(
+            "{{\"bench\":\"mr\",\"case\":\"shuffle-aggregate\",\"pairs\":{},\"keys\":{},\
+             \"threads\":{},\"partitions\":{},\"seconds_naive\":{:.6},\"seconds_radix\":{:.6},\
+             \"speedup_radix_vs_naive\":{:.3}}}",
+            pairs,
+            keys,
+            threads,
+            partitions,
+            naive_secs,
+            radix_secs,
+            naive_secs / radix_secs
+        );
+    }
+}
+
+/// The combiner leg: a full-broadcast superstep (HADI round 1's shape) on a
+/// power-law graph. Map side emits one pair per arc; the combiner ships at
+/// most one per (destination, sender chunk).
+fn bench_combiner(scale: Scale) {
+    let nodes = match scale {
+        Scale::Ci => 40_000usize,
+        Scale::Default => 160_000,
+        Scale::Full => 600_000,
+    };
+    let g = generators::windowed_preferential_attachment(nodes, 8, 0.025, 7);
+    let arcs = g.num_arcs() as f64;
+    let avg_degree = arcs / g.num_nodes() as f64;
+    for partitions in [1usize, 4, 16] {
+        let (report, secs) = best_of_3(4, || {
+            let mut eng: VertexEngine<u32, Min<u32>> =
+                VertexEngine::with_partitions(&g, partitions, |_| u32::MAX);
+            for v in 0..g.num_nodes() as u32 {
+                eng.post(v, Min(v));
+            }
+            eng.step(|_, s, m| {
+                *s = m.0;
+                None
             })
-            .unwrap()
-        })
+        });
+        let ratio = report.messages as f64 / report.combined_messages.max(1) as f64;
+        println!(
+            "{{\"bench\":\"mr\",\"case\":\"combiner-powerlaw\",\"nodes\":{},\"arcs\":{},\
+             \"partitions\":{},\"map_pairs\":{},\"shuffled_pairs\":{},\
+             \"combine_ratio\":{:.3},\"avg_degree\":{:.3},\"seconds\":{:.6}}}",
+            g.num_nodes(),
+            g.num_arcs(),
+            partitions,
+            report.messages,
+            report.combined_messages,
+            ratio,
+            avg_degree,
+            secs
+        );
+        assert_eq!(report.messages, g.num_arcs() as u64);
+        if partitions == 1 {
+            // One map chunk ⇒ one combined message per receiving vertex:
+            // the shuffled volume shrinks by exactly the average-degree
+            // factor (the acceptance bar for this refactor).
+            assert!(
+                ratio + 1e-9 >= avg_degree,
+                "combiner ratio {ratio} below average degree {avg_degree}"
+            );
+        }
+    }
+}
+
+/// Fact 1 primitives and the vertex-program BFS, timed as before but in the
+/// JSON-lines format.
+fn bench_primitives(scale: Scale) {
+    let n = match scale {
+        Scale::Ci => 100_000u64,
+        Scale::Default => 400_000,
+        Scale::Full => 1_600_000,
+    };
+    let items: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let (_, sort_secs) = best_of_3(4, || {
+        let mut eng = MrEngine::new(MrConfig::default());
+        mr_sort(&mut eng, items.clone(), 42).expect("sort cannot fail")
     });
-    let g = generators::mesh(60, 60);
-    group.bench_function("vertex-bfs-mesh-60x60", |b| b.iter(|| mr_bfs(&g, 0)));
-    group.finish();
+    println!(
+        "{{\"bench\":\"mr\",\"case\":\"sort\",\"items\":{n},\"threads\":4,\"seconds\":{sort_secs:.6}}}"
+    );
+    let values: Vec<u64> = (0..n).map(|i| i % 17).collect();
+    let (_, prefix_secs) = best_of_3(4, || {
+        let mut eng = MrEngine::new(MrConfig::default());
+        mr_prefix_sum(&mut eng, values.clone()).expect("prefix sum cannot fail")
+    });
+    println!(
+        "{{\"bench\":\"mr\",\"case\":\"prefix-sum\",\"items\":{n},\"threads\":4,\"seconds\":{prefix_secs:.6}}}"
+    );
+    let side = match scale {
+        Scale::Ci => 60usize,
+        Scale::Default => 120,
+        Scale::Full => 240,
+    };
+    let g = generators::mesh(side, side);
+    let (run, bfs_secs) = best_of_3(4, || mr_bfs(&g, 0));
+    println!(
+        "{{\"bench\":\"mr\",\"case\":\"vertex-bfs-mesh\",\"nodes\":{},\"threads\":4,\
+         \"supersteps\":{},\"seconds\":{:.6}}}",
+        g.num_nodes(),
+        run.supersteps,
+        bfs_secs
+    );
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    let scale = scale_from_args();
+    bench_shuffle(scale);
+    bench_combiner(scale);
+    bench_primitives(scale);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_mr
-}
-criterion_main!(benches);

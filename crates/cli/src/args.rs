@@ -75,6 +75,8 @@ const VALUED_KEYS: &[&str] = &[
     "edges",
     "threads",
     "frontier",
+    "partitions",
+    "source",
 ];
 
 impl Args {
@@ -169,6 +171,24 @@ impl Args {
         }
     }
 
+    /// The `--partitions` option: shuffle/superstep partition count for the
+    /// MR emulation, `None` when unspecified (the count then follows
+    /// `PARDEC_PARTITIONS`, falling back to `4 × pool threads`). Partitions
+    /// shape scheduling and the communication ledger, never results.
+    pub fn partitions(&self) -> Result<Option<usize>, ArgError> {
+        match self.options.get("partitions") {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(ArgError::BadValue {
+                    key: "partitions".to_string(),
+                    value: raw.to_string(),
+                    expected: "a positive integer",
+                }),
+            },
+        }
+    }
+
     /// The `--threads` option: requested worker count for the global pool,
     /// `None` when unspecified (pool size then follows `RAYON_NUM_THREADS`,
     /// falling back to the available parallelism).
@@ -253,6 +273,31 @@ mod tests {
         assert_eq!(
             parse("stats --threads").unwrap_err(),
             ArgError::MissingValue("threads".into())
+        );
+    }
+
+    #[test]
+    fn partitions_option() {
+        assert_eq!(
+            parse("stats --graph g").unwrap().partitions().unwrap(),
+            None
+        );
+        assert_eq!(
+            parse("mr-cluster --graph g --partitions 3")
+                .unwrap()
+                .partitions(),
+            Ok(Some(3))
+        );
+        for bad in ["0", "-1", "lots"] {
+            let a = parse(&format!("mr-cluster --graph g --partitions {bad}")).unwrap();
+            assert!(
+                matches!(a.partitions(), Err(ArgError::BadValue { .. })),
+                "--partitions {bad} should be rejected"
+            );
+        }
+        assert_eq!(
+            parse("mr-cluster --partitions").unwrap_err(),
+            ArgError::MissingValue("partitions".into())
         );
     }
 

@@ -2,11 +2,16 @@
 
 use crate::args::Args;
 use pardec_core::diameter::Decomposition;
+use pardec_core::hadi::mr_hadi_with;
+use pardec_core::mr_impl::{mr_bfs_with, mr_cluster_with};
 use pardec_core::{
     approximate_diameter, cluster, cluster2, gonzalez, kcenter, mpx_with_frontier, ClusterParams,
-    Clustering, DiameterParams, DistanceOracle,
+    Clustering, DiameterParams, DistanceOracle, HadiParams,
 };
-use pardec_graph::{diameter, generators, io, stats, CsrGraph, FrontierStrategy, NodeId};
+use pardec_graph::{
+    diameter, generators, io, stats, CsrGraph, FrontierStrategy, NodeId, INFINITE_DIST,
+};
+use pardec_mr::{MrConfig, MrStats};
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -16,22 +21,28 @@ pub const USAGE: &str = "\
 usage: pardec <command> [options]
 
 global options:
-  --threads N   size of the worker pool used by all parallel phases
-                (default: RAYON_NUM_THREADS, else all available cores)
-  --frontier S  frontier expansion strategy for BFS/growth phases:
-                topdown | bottomup | hybrid (default: PARDEC_FRONTIER,
-                else topdown; output is byte-identical either way)
+  --threads N     size of the worker pool used by all parallel phases
+                  (default: RAYON_NUM_THREADS, else all available cores)
+  --frontier S    frontier expansion strategy for BFS/growth phases:
+                  topdown | bottomup | hybrid (default: PARDEC_FRONTIER,
+                  else topdown; output is byte-identical either way)
+  --partitions P  shuffle/superstep partition count of the MR emulation
+                  (default: PARDEC_PARTITIONS, else 4 x pool threads;
+                  shapes the communication ledger, never results)
 
 commands:
-  generate  --family mesh|torus|road|social|ba|gnm|lollipop [--rows R --cols C]
-            [--nodes N --attach M --window F --extra-prob P --degree D --edges M]
-            [--seed S] --out FILE
-  stats     --graph FILE
-  cluster   --graph FILE [--tau T] [--algorithm cluster|cluster2|mpx]
-            [--beta B] [--seed S] [--labels FILE]
-  diameter  --graph FILE [--tau T] [--seed S] [--exact] [--cluster2]
-  kcenter   --graph FILE --k K [--seed S] [--gonzalez]
-  oracle    --graph FILE [--tau T] [--seed S] --queries u:v[,u:v...]
+  generate    --family mesh|torus|road|social|ba|gnm|lollipop [--rows R --cols C]
+              [--nodes N --attach M --window F --extra-prob P --degree D --edges M]
+              [--seed S] --out FILE
+  stats       --graph FILE
+  cluster     --graph FILE [--tau T] [--algorithm cluster|cluster2|mpx]
+              [--beta B] [--seed S] [--labels FILE]
+  diameter    --graph FILE [--tau T] [--seed S] [--exact] [--cluster2]
+  kcenter     --graph FILE --k K [--seed S] [--gonzalez]
+  oracle      --graph FILE [--tau T] [--seed S] --queries u:v[,u:v...]
+  mr-cluster  --graph FILE [--tau T] [--seed S] [--partitions P]
+  mr-bfs      --graph FILE [--source V] [--partitions P]
+  mr-hadi     --graph FILE [--trials T] [--seed S] [--partitions P]
   help";
 
 /// Builds the global thread pool from `--threads` before any command runs.
@@ -62,6 +73,9 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "diameter" => cmd_diameter(args),
         "kcenter" => cmd_kcenter(args),
         "oracle" => cmd_oracle(args),
+        "mr-cluster" => cmd_mr_cluster(args),
+        "mr-bfs" => cmd_mr_bfs(args),
+        "mr-hadi" => cmd_mr_hadi(args),
         "help" => {
             println!("{USAGE}");
             Ok(())
@@ -295,6 +309,95 @@ fn cmd_oracle(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `--partitions` when given, else the `PARDEC_PARTITIONS`/4×threads default.
+fn mr_config(args: &Args) -> Result<MrConfig, crate::args::ArgError> {
+    Ok(match args.partitions()? {
+        Some(n) => MrConfig::with_partitions(n),
+        None => MrConfig::default(),
+    })
+}
+
+/// Prints the §5 communication ledger: rounds, pre-combine (map) and
+/// post-combine (shuffled) volumes, and the peak local-memory demand.
+fn print_ledger(stats: &MrStats) {
+    println!("-- communication ledger (MR(M_G, M_L) emulation) --");
+    println!("rounds          {}", stats.num_rounds());
+    println!(
+        "map volume      {} pairs / {} bytes (pre-combine)",
+        stats.total_map_pairs(),
+        stats.total_map_bytes()
+    );
+    println!(
+        "shuffled        {} pairs / {} bytes (post-combine)",
+        stats.total_pairs(),
+        stats.total_bytes()
+    );
+    println!("combine ratio   {:.2}x", stats.combine_ratio());
+    println!("peak round      {} pairs", stats.max_round_pairs());
+    println!(
+        "peak M_L        {} pairs in one reducer group",
+        stats.max_local_memory()
+    );
+}
+
+fn cmd_mr_cluster(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let s = seed(args)?;
+    let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
+    let mr = mr_config(args)?;
+    let r = mr_cluster_with(&g, &ClusterParams::new(tau, s), &mr);
+    println!("partitions    {}", mr.partitions);
+    println!("clusters      {}", r.clustering.num_clusters());
+    println!("max radius    {}", r.clustering.max_radius());
+    println!("supersteps    {}", r.supersteps);
+    print_ledger(&r.stats);
+    Ok(())
+}
+
+fn cmd_mr_bfs(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let src: NodeId = args.opt_parse("source", 0, "a node id")?;
+    if src as usize >= g.num_nodes() {
+        return Err(format!("--source {src} out of range (n = {})", g.num_nodes()).into());
+    }
+    let mr = mr_config(args)?;
+    let r = mr_bfs_with(&g, src, &mr);
+    let reached = r.values.iter().filter(|&&d| d != INFINITE_DIST).count();
+    let ecc = r
+        .values
+        .iter()
+        .filter(|&&d| d != INFINITE_DIST)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    println!("partitions    {}", mr.partitions);
+    println!("source        {src}");
+    println!("reached       {} / {}", reached, g.num_nodes());
+    println!("eccentricity  {ecc}");
+    println!("supersteps    {}", r.supersteps);
+    print_ledger(&r.stats);
+    Ok(())
+}
+
+fn cmd_mr_hadi(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let s = seed(args)?;
+    let trials: usize = args.opt_parse("trials", 32, "a positive integer")?;
+    if trials == 0 {
+        return Err("--trials must be positive".into());
+    }
+    let mr = mr_config(args)?;
+    let mut params = HadiParams::new(s);
+    params.trials = trials;
+    let (r, stats) = mr_hadi_with(&g, &params, &mr);
+    println!("partitions    {}", mr.partitions);
+    println!("trials        {trials}");
+    println!("diameter est  {}", r.diameter_estimate);
+    println!("convergence   {} iterations", r.iterations);
+    print_ledger(&stats);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +474,32 @@ mod tests {
         }
         dispatch(&args(&format!("diameter --graph {path} --frontier hybrid"))).unwrap();
         assert!(dispatch(&args(&format!("cluster --graph {path} --frontier nosuch"))).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn mr_subcommands_print_the_ledger() {
+        let path = tmp("mr.txt");
+        dispatch(&args(&format!(
+            "generate --family mesh --rows 10 --cols 10 --out {path}"
+        )))
+        .unwrap();
+        for partitions in ["", "--partitions 1", "--partitions 3"] {
+            dispatch(&args(&format!(
+                "mr-cluster --graph {path} --tau 2 {partitions}"
+            )))
+            .unwrap_or_else(|e| panic!("mr-cluster {partitions}: {e}"));
+            dispatch(&args(&format!("mr-bfs --graph {path} {partitions}")))
+                .unwrap_or_else(|e| panic!("mr-bfs {partitions}: {e}"));
+            dispatch(&args(&format!(
+                "mr-hadi --graph {path} --trials 8 {partitions}"
+            )))
+            .unwrap_or_else(|e| panic!("mr-hadi {partitions}: {e}"));
+        }
+        dispatch(&args(&format!("mr-bfs --graph {path} --source 99"))).unwrap();
+        assert!(dispatch(&args(&format!("mr-bfs --graph {path} --source 100"))).is_err());
+        assert!(dispatch(&args(&format!("mr-cluster --graph {path} --partitions 0"))).is_err());
+        assert!(dispatch(&args(&format!("mr-hadi --graph {path} --trials 0"))).is_err());
         let _ = std::fs::remove_file(path);
     }
 

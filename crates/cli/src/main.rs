@@ -8,8 +8,16 @@
 //! pardec diameter --graph mesh.txt --tau 8 [--exact]
 //! pardec kcenter  --graph mesh.txt --k 20 [--gonzalez]
 //! pardec oracle   --graph mesh.txt --tau 2 --queries 0:57,3:99
+//! pardec mr-cluster --graph mesh.txt --tau 8 --partitions 16
+//! pardec mr-bfs     --graph mesh.txt --source 0
+//! pardec mr-hadi    --graph mesh.txt --trials 32
 //! pardec help
 //! ```
+//!
+//! The `mr-*` subcommands run on the MR(M_G, M_L) emulation and print its
+//! communication ledger (pre-/post-combine pairs and bytes, peak `M_L`);
+//! `--partitions` (or `PARDEC_PARTITIONS`) sets the shuffle grid without
+//! affecting any result.
 //!
 //! Graphs are SNAP-style text edge lists (`pardec_graph::io`). All commands
 //! are seeded (`--seed`, default 42) and reproducible: results are

@@ -14,7 +14,7 @@
 //! runs on the MR emulation and exposes that ledger.
 
 use pardec_graph::{CsrGraph, NodeId};
-use pardec_mr::{Combine, MrStats, VertexEngine};
+use pardec_mr::{Combine, MrConfig, MrStats, ShuffleSize, VertexEngine};
 use pardec_sketch::{DistinctCounter, FmSketch};
 use rayon::prelude::*;
 
@@ -170,6 +170,16 @@ pub fn hyper_anf(g: &CsrGraph, precision: u8, seed: u64, params: &HadiParams) ->
 #[derive(Clone, Debug)]
 struct SketchMsg(FmSketch);
 
+impl ShuffleSize for SketchMsg {
+    /// An FM sketch's wire size is dominated by its heap-resident bitmaps:
+    /// one `u64` per trial. The seed-era accounting charged only the inline
+    /// struct (`size_of`), under-counting every HADI round by the trial
+    /// factor — exactly what the [`ShuffleSize`] satellite fixes.
+    fn shuffle_bytes(&self) -> usize {
+        std::mem::size_of::<FmSketch>() + self.0.trials() * std::mem::size_of::<u64>()
+    }
+}
+
 impl Combine for SketchMsg {
     fn combine(&mut self, other: &Self) {
         self.0.merge(&other.0);
@@ -178,9 +188,17 @@ impl Combine for SketchMsg {
 
 /// HADI on the MR(M_G, M_L) emulation: one superstep per radius, every
 /// changed sketch rebroadcast to all neighbours. The returned [`MrStats`]
-/// shows the `Θ(m)`-pairs-per-round profile that makes HADI slow on
-/// long-diameter graphs (Table 4).
+/// shows the `Θ(m)`-pairs-per-round **map-side** profile that makes HADI
+/// slow on long-diameter graphs (Table 4); the post-combine column shows
+/// what a combiner saves (sketch union is commutative + associative, so a
+/// chunk ships one merged sketch per destination).
 pub fn mr_hadi(g: &CsrGraph, params: &HadiParams) -> (HadiResult, MrStats) {
+    mr_hadi_with(g, params, &MrConfig::default())
+}
+
+/// [`mr_hadi`] with an explicit engine configuration. The partition count
+/// never changes the estimate — sketch union is order-insensitive.
+pub fn mr_hadi_with(g: &CsrGraph, params: &HadiParams, mr: &MrConfig) -> (HadiResult, MrStats) {
     let n = g.num_nodes();
     if n == 0 {
         return (
@@ -195,11 +213,12 @@ pub fn mr_hadi(g: &CsrGraph, params: &HadiParams) -> (HadiResult, MrStats) {
     }
     let trials = params.trials;
     let seed = params.seed;
-    let mut eng: VertexEngine<FmSketch, SketchMsg> = VertexEngine::new(g, |v| {
-        let mut s = FmSketch::new(trials, seed);
-        s.add(v as u64);
-        s
-    });
+    let mut eng: VertexEngine<FmSketch, SketchMsg> =
+        VertexEngine::with_partitions(g, mr.partitions, |v| {
+            let mut s = FmSketch::new(trials, seed);
+            s.add(v as u64);
+            s
+        });
     for v in 0..n as NodeId {
         eng.post(v, SketchMsg(eng.state[v as usize].clone()));
     }
@@ -299,9 +318,15 @@ mod tests {
         let delta = apsp_diameter(&g);
         let (r, stats) = mr_hadi(&g, &HadiParams::new(2));
         assert_eq!(r.bit_convergence, delta);
-        // Per-round volume is Θ(m): the first round ships one sketch per arc.
-        let first = stats.rounds()[0].input_pairs;
-        assert_eq!(first, g.num_arcs());
+        // Per-round map volume is Θ(m): the first round emits one sketch
+        // per arc; the combiner then ships at most one per (dst, chunk) and
+        // at least one per receiving vertex.
+        let first = &stats.rounds()[0];
+        assert_eq!(first.map_pairs, g.num_arcs());
+        assert!(first.input_pairs <= first.map_pairs);
+        assert!(first.input_pairs >= g.num_nodes());
+        // Sketch bytes are charged in full: ≥ trials × 8 bytes per pair.
+        assert!(first.input_bytes >= first.input_pairs * 32 * 8);
         // Θ(Δ) rounds.
         assert!(stats.num_rounds() as u32 >= delta);
     }

@@ -7,10 +7,23 @@
 //! paper's round complexity up to a constant. The driver holds only
 //! `O(#centers)` state, mirroring a Spark driver.
 //!
+//! Since the radix-shuffle refactor the underlying supersteps run on the
+//! flat two-pass scatter of `pardec_mr::shuffle` with **map-side combining**
+//! of the `Min<u64>` claim messages: each sender chunk ships at most one
+//! combined `(owner, dist)` claim per destination, so the ledger now shows
+//! both the per-edge (`map_pairs`) and post-combine (`input_pairs`) volumes
+//! — the `M_G` discipline §5 argues for, made observable. Every algorithm
+//! here also has a `*_with` variant taking an explicit
+//! [`pardec_mr::MrConfig`] (the CLI's `--partitions`, or the
+//! `PARDEC_PARTITIONS` ambient default); the partition count shapes the
+//! scheduling grid and the ledger's cell granularity, **never the outputs**
+//! — claims resolve by commutative minimum, so results are byte-identical
+//! at any partition count and pool size (`tests/determinism_threads.rs`).
+//!
 //! Together with [`pardec_mr::algo::mr_bfs`] and [`crate::hadi::mr_hadi`],
 //! this provides the three competitors of Table 4 under one cost model:
 //!
-//! | algorithm | rounds | communication |
+//! | algorithm | rounds | communication (pre-combine) |
 //! |---|---|---|
 //! | CLUSTER   | `R ≪ Δ` growth steps | aggregate `Θ(m)` |
 //! | BFS       | `Θ(Δ)` | aggregate `Θ(m)` |
@@ -19,11 +32,13 @@
 use crate::cluster::{log2n, ClusterParams, ClusterTrace, IterationTrace};
 use crate::clustering::Clustering;
 use pardec_graph::{CsrGraph, NodeId, INVALID_NODE};
-use pardec_mr::{Min, MrStats, VertexEngine};
+use pardec_mr::{Min, MrConfig, MrStats, VertexEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-pub use pardec_mr::algo::{mr_bfs, mr_connected_components, MrRun};
+pub use pardec_mr::algo::{
+    mr_bfs, mr_bfs_with, mr_connected_components, mr_connected_components_with, MrRun,
+};
 
 /// Per-vertex state of the MR CLUSTER program.
 #[derive(Clone, Copy, Debug)]
@@ -61,12 +76,19 @@ pub struct MrClusterResult {
 /// order, so cluster *identities* differ across the two implementations
 /// while all Theorem 1 invariants hold.
 pub fn mr_cluster(g: &CsrGraph, params: &ClusterParams) -> MrClusterResult {
+    mr_cluster_with(g, params, &MrConfig::default())
+}
+
+/// [`mr_cluster`] with an explicit engine configuration. The partition
+/// count never changes the clustering — only scheduling and the ledger.
+pub fn mr_cluster_with(g: &CsrGraph, params: &ClusterParams, mr: &MrConfig) -> MrClusterResult {
     let n = g.num_nodes();
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut eng: VertexEngine<NodeState, Min<u64>> = VertexEngine::new(g, |_| NodeState {
-        owner: INVALID_NODE,
-        dist: 0,
-    });
+    let mut eng: VertexEngine<NodeState, Min<u64>> =
+        VertexEngine::with_partitions(g, mr.partitions, |_| NodeState {
+            owner: INVALID_NODE,
+            dist: 0,
+        });
     let mut centers: Vec<NodeId> = Vec::new();
     let mut covered = 0usize;
     let mut trace = ClusterTrace::default();
@@ -174,16 +196,27 @@ pub fn mr_cluster(g: &CsrGraph, params: &ClusterParams) -> MrClusterResult {
 /// Returns the result plus the probe's `R_ALG`; the stats ledger covers the
 /// main loop (the probe's ledger is inside `probe_stats`).
 pub fn mr_cluster2(g: &CsrGraph, params: &ClusterParams) -> (MrClusterResult, u32) {
+    mr_cluster2_with(g, params, &MrConfig::default())
+}
+
+/// [`mr_cluster2`] with an explicit engine configuration (probe and main
+/// loop share it).
+pub fn mr_cluster2_with(
+    g: &CsrGraph,
+    params: &ClusterParams,
+    mr: &MrConfig,
+) -> (MrClusterResult, u32) {
     let n = g.num_nodes();
-    let probe = mr_cluster(g, params);
+    let probe = mr_cluster_with(g, params, mr);
     let r_alg = probe.clustering.max_radius();
     let budget = (2 * r_alg).max(1) as usize;
 
     let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(1));
-    let mut eng: VertexEngine<NodeState, Min<u64>> = VertexEngine::new(g, |_| NodeState {
-        owner: INVALID_NODE,
-        dist: 0,
-    });
+    let mut eng: VertexEngine<NodeState, Min<u64>> =
+        VertexEngine::with_partitions(g, mr.partitions, |_| NodeState {
+            owner: INVALID_NODE,
+            dist: 0,
+        });
     let mut centers: Vec<NodeId> = Vec::new();
     let mut covered = 0usize;
     let mut trace = ClusterTrace::default();

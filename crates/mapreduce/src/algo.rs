@@ -1,6 +1,7 @@
 //! Reference vertex-program algorithms used to validate the layer and as
 //! baselines in the experiments: MR-BFS and MR connected components.
 
+use crate::config::MrConfig;
 use crate::stats::MrStats;
 use crate::vertex::{Min, VertexEngine};
 use pardec_graph::{CsrGraph, NodeId, INFINITE_DIST};
@@ -18,9 +19,17 @@ pub struct MrRun<T> {
 
 /// Level-synchronous BFS as a vertex program: `Θ(ecc(src))` supersteps,
 /// *aggregate* message volume `Θ(m)` — the cost profile Table 4 attributes
-/// to the Spark BFS baseline.
+/// to the Spark BFS baseline. Uses the ambient default partition count.
 pub fn mr_bfs(g: &CsrGraph, src: NodeId) -> MrRun<u32> {
-    let mut eng: VertexEngine<u32, Min<u32>> = VertexEngine::new(g, |_| INFINITE_DIST);
+    mr_bfs_with(g, src, &MrConfig::default())
+}
+
+/// [`mr_bfs`] with an explicit engine configuration (`--partitions` on the
+/// CLI). The partition count shapes scheduling and the ledger's cell
+/// granularity, never the distances.
+pub fn mr_bfs_with(g: &CsrGraph, src: NodeId, config: &MrConfig) -> MrRun<u32> {
+    let mut eng: VertexEngine<u32, Min<u32>> =
+        VertexEngine::with_partitions(g, config.partitions, |_| INFINITE_DIST);
     eng.state[src as usize] = 0;
     eng.post(src, Min(1));
     let supersteps = eng.run_to_quiescence(g.num_nodes() + 1, |_, s, m| {
@@ -42,7 +51,13 @@ pub fn mr_bfs(g: &CsrGraph, src: NodeId) -> MrRun<u32> {
 /// Connected components by min-label propagation: every vertex starts with
 /// its own id and adopts the smallest label it hears. `O(Δ)` supersteps.
 pub fn mr_connected_components(g: &CsrGraph) -> MrRun<u32> {
-    let mut eng: VertexEngine<u32, Min<u32>> = VertexEngine::new(g, |v| v);
+    mr_connected_components_with(g, &MrConfig::default())
+}
+
+/// [`mr_connected_components`] with an explicit engine configuration.
+pub fn mr_connected_components_with(g: &CsrGraph, config: &MrConfig) -> MrRun<u32> {
+    let mut eng: VertexEngine<u32, Min<u32>> =
+        VertexEngine::with_partitions(g, config.partitions, |v| v);
     for v in 0..g.num_nodes() as NodeId {
         eng.post(v, Min(v));
     }

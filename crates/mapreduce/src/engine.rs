@@ -1,35 +1,40 @@
-//! The generic round executor: hash-partitioned group-by-key with parallel
-//! reducers and full metrics accounting.
+//! The generic round executor: a flat parallel radix shuffle feeding
+//! per-partition ordered group-by, with optional map-side combining and
+//! full metrics accounting.
+//!
+//! A round's data path is the two-pass scatter of [`crate::shuffle`]: count
+//! pass → exact offsets → one flat pre-sized buffer, no per-bucket `Vec`
+//! growth, layout deterministic by construction. Groups within a partition
+//! are emitted in **first-arrival order** (the order a real shuffle
+//! delivers under our deterministic routing), so outputs are byte-identical
+//! at any pool size — asserted against the retained naive reference engine
+//! in this module's tests and in `tests/proptests_mr.rs`.
 
 use crate::config::MrConfig;
 use crate::error::MrError;
+use crate::shuffle::{self, KeyIndex, ShuffleSize};
 use crate::stats::{MrStats, RoundStats};
-use rayon::prelude::*;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
-
-/// Deterministic hasher (SipHash with fixed keys) so that partition layout —
-/// and therefore output order — is reproducible across runs.
-type DetState = BuildHasherDefault<DefaultHasher>;
-
-fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % partitions as u64) as usize
-}
+use std::hash::Hash;
 
 /// Executes MR rounds and accumulates [`MrStats`].
 ///
-/// A *round* takes a multiset of `(K, V)` pairs, groups them by key (hash
-/// partitioning into [`MrConfig::partitions`] buckets processed in
-/// parallel), applies the reducer to every group independently, and returns
-/// the concatenated outputs. Everything entering the round is charged as
-/// shuffled communication; the largest group is charged as the round's local
-/// memory.
+/// A *round* takes a multiset of `(K, V)` pairs, groups them by key (radix
+/// partitioning into [`MrConfig::partitions`] buckets, counted + scattered
+/// in parallel, reduced in parallel), applies the reducer to every group
+/// independently, and returns the concatenated outputs. Everything entering
+/// the shuffle is charged as communication (pre- and post-combine when a
+/// combiner runs); the largest group is charged as the round's local memory.
 pub struct MrEngine {
     config: MrConfig,
     stats: MrStats,
+}
+
+/// Per-partition reduce outcome, merged into the round's ledger entry.
+struct PartOut<K2, V2> {
+    out: Vec<(K2, V2)>,
+    keys: usize,
+    max_group: usize,
+    violations: usize,
 }
 
 impl MrEngine {
@@ -56,52 +61,59 @@ impl MrEngine {
         self.stats = MrStats::default();
     }
 
-    /// Executes one labelled round. See [`MrEngine::round`].
-    pub fn round_labelled<K, V, K2, V2, F>(
+    /// Shared tail of [`MrEngine::round_labelled`] and
+    /// [`MrEngine::round_combined`]: radix-shuffle `input`, reduce every
+    /// partition in parallel, record the ledger entry. `map` carries the
+    /// pre-combine (pairs, bytes) volume when a combiner already ran.
+    fn shuffled_round<K, V, K2, V2, F>(
         &mut self,
         input: Vec<(K, V)>,
         label: &'static str,
+        map: Option<(usize, usize)>,
         reducer: F,
     ) -> Result<Vec<(K2, V2)>, MrError>
     where
-        K: Hash + Eq + Send,
-        V: Send,
+        K: Hash + Eq + Send + Sync + ShuffleSize,
+        V: Send + Sync + ShuffleSize,
         K2: Send,
         V2: Send,
         F: Fn(&K, Vec<V>) -> Vec<(K2, V2)> + Sync,
     {
         let partitions = self.config.partitions;
         let input_pairs = input.len();
-        let input_bytes = input_pairs * std::mem::size_of::<(K, V)>();
+        let input_bytes = shuffle::pairs_shuffle_bytes(&input);
+        let (map_pairs, map_bytes) = map.unwrap_or((input_pairs, input_bytes));
 
-        // Shuffle: route each pair to its key's partition. A sequential pass
-        // keeps per-partition arrival order deterministic.
-        let mut buckets: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
-        for (k, v) in input {
-            let p = partition_of(&k, partitions);
-            buckets[p].push((k, v));
-        }
-
-        // Per-partition group-by + reduce, in parallel.
-        struct PartOut<K2, V2> {
-            out: Vec<(K2, V2)>,
-            keys: usize,
-            max_group: usize,
-            violations: usize,
-        }
         let ml = self.config.local_memory;
-        let results: Vec<PartOut<K2, V2>> = buckets
-            .into_par_iter()
-            .map(|bucket| {
-                let mut groups: HashMap<K, Vec<V>, DetState> = HashMap::default();
-                for (k, v) in bucket {
-                    groups.entry(k).or_default().push(v);
+        let reducer = &reducer;
+        let results: Vec<PartOut<K2, V2>> = shuffle::radix_partition(input, partitions)
+            .reduce_partitions(move |_p, pairs| {
+                // Intern keys and park values in one flat scratch first, so
+                // every group vector below is allocated at its exact size —
+                // no per-key growth reallocation in the hot loop.
+                let mut index: KeyIndex<K> = KeyIndex::new();
+                let mut counts: Vec<u32> = Vec::new();
+                let mut scratch: Vec<(u32, V)> = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    let slot = index.intern(k);
+                    if slot == counts.len() {
+                        counts.push(0);
+                    }
+                    counts[slot] += 1;
+                    scratch.push((slot as u32, v));
                 }
-                let keys = groups.len();
+                let mut groups: Vec<Vec<V>> = counts
+                    .iter()
+                    .map(|&c| Vec::with_capacity(c as usize))
+                    .collect();
+                for (slot, v) in scratch {
+                    groups[slot as usize].push(v);
+                }
+                let keys = index.len();
                 let mut max_group = 0;
                 let mut violations = 0;
                 let mut out = Vec::new();
-                for (k, vs) in groups {
+                for (k, vs) in index.into_keys().into_iter().zip(groups) {
                     max_group = max_group.max(vs.len());
                     if let Some(limit) = ml {
                         if vs.len() > limit {
@@ -116,8 +128,7 @@ impl MrEngine {
                     max_group,
                     violations,
                 }
-            })
-            .collect();
+            });
 
         let num_keys: usize = results.iter().map(|r| r.keys).sum();
         let max_group = results.iter().map(|r| r.max_group).max().unwrap_or(0);
@@ -126,6 +137,8 @@ impl MrEngine {
 
         self.stats.push(RoundStats {
             round: 0, // renumbered by the ledger
+            map_pairs,
+            map_bytes,
             input_pairs,
             input_bytes,
             output_pairs: output.len(),
@@ -146,6 +159,91 @@ impl MrEngine {
         Ok(output)
     }
 
+    /// Executes one labelled round. See [`MrEngine::round`].
+    pub fn round_labelled<K, V, K2, V2, F>(
+        &mut self,
+        input: Vec<(K, V)>,
+        label: &'static str,
+        reducer: F,
+    ) -> Result<Vec<(K2, V2)>, MrError>
+    where
+        K: Hash + Eq + Send + Sync + ShuffleSize,
+        V: Send + Sync + ShuffleSize,
+        K2: Send,
+        V2: Send,
+        F: Fn(&K, Vec<V>) -> Vec<(K2, V2)> + Sync,
+    {
+        self.shuffled_round(input, label, None, reducer)
+    }
+
+    /// Executes one round with a **map-side combiner**: before the shuffle,
+    /// each map chunk merges its pairs with equal keys through `combine`, so
+    /// at most one pair per (key, chunk) enters the shuffle — the paper's
+    /// `M_G` discipline. The reducer then sees the per-chunk partial values
+    /// (in chunk order) instead of every original value.
+    ///
+    /// `combine` must agree with the reducer's own aggregation (a
+    /// commutative, associative fold of `V`), in which case the output is
+    /// identical to the uncombined [`MrEngine::round_labelled`] — asserted
+    /// by `tests/proptests_mr.rs`. The ledger records both the pre-combine
+    /// (`map_pairs`/`map_bytes`) and post-combine (`input_pairs`/
+    /// `input_bytes`) volumes. Note that `max_group` — and therefore any
+    /// `M_L` budget enforcement — sees the **post-combine** groups (at most
+    /// one partial per map chunk per key); a round that only fits in `M_L`
+    /// *because* of its combiner is exactly the regime combiners exist for.
+    pub fn round_combined<K, V, K2, V2, C, F>(
+        &mut self,
+        input: Vec<(K, V)>,
+        label: &'static str,
+        combine: C,
+        reducer: F,
+    ) -> Result<Vec<(K2, V2)>, MrError>
+    where
+        K: Hash + Eq + Send + Sync + ShuffleSize,
+        V: Send + Sync + ShuffleSize,
+        K2: Send,
+        V2: Send,
+        C: Fn(&mut V, V) + Sync,
+        F: Fn(&K, Vec<V>) -> Vec<(K2, V2)> + Sync,
+    {
+        let map_pairs = input.len();
+        let map_bytes = shuffle::pairs_shuffle_bytes(&input);
+        let chunk_size = map_pairs.div_ceil(self.config.partitions.max(1)).max(1);
+
+        // Map side: each chunk combines its equal-key pairs, emitting them
+        // in first-arrival order (so downstream key order matches the
+        // uncombined path). Chunk boundaries depend only on the partition
+        // count, keeping the result pool-size independent.
+        let combine = &combine;
+        let combined_chunks: Vec<Vec<(K, V)>> =
+            shuffle::consume_chunks(input, chunk_size, move |_c, pairs| {
+                let mut index: KeyIndex<K> = KeyIndex::new();
+                let mut partials: Vec<Option<V>> = Vec::new();
+                for (k, v) in pairs {
+                    let slot = index.intern(k);
+                    if slot == partials.len() {
+                        partials.push(Some(v));
+                    } else {
+                        combine(partials[slot].as_mut().expect("slot is live"), v);
+                    }
+                }
+                index
+                    .into_keys()
+                    .into_iter()
+                    .zip(partials)
+                    .map(|(k, p)| (k, p.expect("each slot filled once")))
+                    .collect()
+            });
+        let combined: Vec<(K, V)> = combined_chunks.into_iter().flatten().collect();
+
+        // Note: the combined path's `max_group` is the *post-combine* group
+        // size (≤ chunk count per key); the pre-combine M_L demand that a
+        // combiner-less execution would have had is only reflected in
+        // `map_pairs` — reconstructing per-key pre-combine maxima exactly
+        // would need a second shuffle.
+        self.shuffled_round(combined, label, Some((map_pairs, map_bytes)), reducer)
+    }
+
     /// Executes one round: group `input` by key, apply `reducer` per group,
     /// concatenate outputs. Fails only when a hard `M_L` budget is exceeded.
     pub fn round<K, V, K2, V2, F>(
@@ -154,8 +252,8 @@ impl MrEngine {
         reducer: F,
     ) -> Result<Vec<(K2, V2)>, MrError>
     where
-        K: Hash + Eq + Send,
-        V: Send,
+        K: Hash + Eq + Send + Sync + ShuffleSize,
+        V: Send + Sync + ShuffleSize,
         K2: Send,
         V2: Send,
         F: Fn(&K, Vec<V>) -> Vec<(K2, V2)> + Sync,
@@ -167,6 +265,104 @@ impl MrEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The retained naive reference engine: sequential routing into
+    /// per-partition buckets, sequential first-arrival group-by — the
+    /// executable spec of one round. The radix engine must match it
+    /// byte-for-byte at any pool size and partition count.
+    pub(crate) fn naive_round<K, V, K2, V2, F>(
+        input: Vec<(K, V)>,
+        partitions: usize,
+        reducer: F,
+    ) -> Vec<(K2, V2)>
+    where
+        K: Hash + Eq,
+        F: Fn(&K, Vec<V>) -> Vec<(K2, V2)>,
+    {
+        let parts = partitions.max(1);
+        let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+        for (k, v) in input {
+            let p = shuffle::partition_of(&k, parts);
+            buckets[p].push((k, v));
+        }
+        let mut out = Vec::new();
+        for bucket in buckets {
+            let mut index: KeyIndex<K> = KeyIndex::new();
+            let mut groups: Vec<Vec<V>> = Vec::new();
+            for (k, v) in bucket {
+                let slot = index.intern(k);
+                if slot == groups.len() {
+                    groups.push(Vec::new());
+                }
+                groups[slot].push(v);
+            }
+            for (k, vs) in index.into_keys().into_iter().zip(groups) {
+                out.extend(reducer(&k, vs));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn radix_round_matches_naive_reference() {
+        for partitions in [1usize, 2, 3, 7, 16] {
+            let input: Vec<(u32, u64)> = (0..5000u64).map(|i| ((i % 97) as u32, i * 3)).collect();
+            let mut eng = MrEngine::new(MrConfig::with_partitions(partitions));
+            let radix = eng
+                .round(input.clone(), |&k, vs| {
+                    vec![(k, (vs.len() as u64, vs.iter().sum::<u64>()))]
+                })
+                .unwrap();
+            let naive = naive_round(input, partitions, |&k, vs: Vec<u64>| {
+                vec![(k, (vs.len() as u64, vs.iter().sum::<u64>()))]
+            });
+            assert_eq!(radix, naive, "partitions = {partitions}");
+        }
+    }
+
+    #[test]
+    fn radix_round_matches_naive_with_identity_reducer() {
+        // The strictest check: emit every (key, value) back out, so group
+        // order AND value arrival order are both visible in the output.
+        let input: Vec<(u8, u32)> = (0..2000u32).map(|i| ((i % 13) as u8, i)).collect();
+        let mut eng = MrEngine::new(MrConfig::with_partitions(5));
+        let radix = eng
+            .round(input.clone(), |&k, vs| {
+                vs.into_iter().map(|v| (k, v)).collect()
+            })
+            .unwrap();
+        let naive = naive_round(input, 5, |&k, vs: Vec<u32>| {
+            vs.into_iter().map(|v| (k, v)).collect()
+        });
+        assert_eq!(radix, naive);
+    }
+
+    #[test]
+    fn combined_round_matches_uncombined() {
+        let input: Vec<(u32, u64)> = (0..3000u64).map(|i| ((i % 41) as u32, i)).collect();
+        let mut plain = MrEngine::new(MrConfig::with_partitions(6));
+        let uncombined = plain
+            .round(input.clone(), |&k, vs| {
+                vec![(k, vs.into_iter().sum::<u64>())]
+            })
+            .unwrap();
+        let mut comb = MrEngine::new(MrConfig::with_partitions(6));
+        let combined = comb
+            .round_combined(
+                input,
+                "combined",
+                |acc, v| *acc += v,
+                |&k, vs| vec![(k, vs.into_iter().sum::<u64>())],
+            )
+            .unwrap();
+        assert_eq!(combined, uncombined);
+        // The combiner must have reduced the shuffled volume: 41 keys × 6
+        // chunks bounds the post-combine pairs, 3000 entered the map side.
+        let r = &comb.stats().rounds()[0];
+        assert_eq!(r.map_pairs, 3000);
+        assert!(r.input_pairs <= 41 * 6, "no combining: {}", r.input_pairs);
+        assert_eq!(plain.stats().rounds()[0].input_pairs, 3000);
+    }
 
     #[test]
     fn word_count() {
@@ -252,6 +448,18 @@ mod tests {
         let out = eng.round(input, |&k, vs| vec![(k, vs)]).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_payloads_charged_in_full() {
+        let mut eng = MrEngine::new(MrConfig::with_partitions(2));
+        let input: Vec<(u32, Vec<u64>)> = vec![(0, vec![1; 100]), (1, vec![2; 50])];
+        let _ = eng.round(input, |&k, vs| vec![(k, vs.len())]).unwrap();
+        let r = &eng.stats().rounds()[0];
+        // 2 keys + 2 Vec headers + 150 u64 elements — not 2 × size_of::<(u32, Vec<u64>)>().
+        let expect = 2 * 4 + 2 * std::mem::size_of::<Vec<u64>>() + 150 * 8;
+        assert_eq!(r.input_bytes, expect);
+        assert!(r.input_bytes > 2 * std::mem::size_of::<(u32, Vec<u64>)>());
     }
 
     #[test]

@@ -13,19 +13,28 @@
 //! There is no mature Rust MapReduce runtime, so this crate *emulates* the
 //! model in-process (see DESIGN.md §2):
 //!
-//! * [`engine::MrEngine`] executes generic key-value rounds with parallel
-//!   reducers (rayon), charging every round to a metrics ledger
-//!   ([`stats::MrStats`]): pairs shuffled, bytes moved, the largest reducer
-//!   group (the `M_L` proxy), and optional hard enforcement of an `M_L`
-//!   budget.
+//! * [`shuffle`] is the data plane: a **two-pass parallel radix
+//!   partitioner** (count → exact offsets → scatter into one flat pre-sized
+//!   buffer, layout deterministic by construction) and the
+//!   [`shuffle::ShuffleSize`] trait that prices every shuffled record,
+//!   heap payloads included.
+//! * [`engine::MrEngine`] executes generic key-value rounds over that
+//!   shuffle with parallel reducers (rayon), charging every round to a
+//!   metrics ledger ([`stats::MrStats`]): pairs and bytes on *both* sides of
+//!   the optional map-side combiner ([`engine::MrEngine::round_combined`]),
+//!   the largest reducer group (the `M_L` proxy), and optional hard
+//!   enforcement of an `M_L` budget.
 //! * [`primitives`] implements the model's Fact 1 building blocks — sample
-//!   **sort** and (segmented) **prefix sum** — as explicit round sequences.
+//!   **sort** and (segmented) **prefix sum** — as explicit round sequences
+//!   (counting/total rounds ride the combiner).
 //! * [`vertex`] layers a Spark/Pregel-style *vertex program* abstraction on
 //!   top, with the graph held resident (like cached RDD partitions) and only
-//!   *messages* counted as communication. This matches how the paper's
-//!   experiments charge BFS (aggregate Θ(m) volume over Θ(Δ) rounds) versus
-//!   HADI (Θ(m) volume *per* round) versus CLUSTER (aggregate Θ(m) over
-//!   `R ≪ Δ` rounds).
+//!   *messages* counted as communication; the [`vertex::Combine`] monoid is
+//!   applied **map-side**, so a superstep ships one combined message per
+//!   `(destination, sender chunk)` instead of one per edge. This matches how
+//!   the paper's experiments charge BFS (aggregate Θ(m) volume over Θ(Δ)
+//!   rounds) versus HADI (Θ(m) volume *per* round) versus CLUSTER
+//!   (aggregate Θ(m) over `R ≪ Δ` rounds).
 //! * [`algo`] gives reference vertex-program algorithms (BFS, connected
 //!   components) used to validate the layer.
 //!
@@ -53,11 +62,13 @@ pub mod engine;
 pub mod error;
 pub mod matrix;
 pub mod primitives;
+pub mod shuffle;
 pub mod stats;
 pub mod vertex;
 
-pub use config::MrConfig;
+pub use config::{MrConfig, PARTITIONS_ENV};
 pub use engine::MrEngine;
 pub use error::MrError;
+pub use shuffle::ShuffleSize;
 pub use stats::{MrStats, RoundStats};
 pub use vertex::{Combine, Min, StepReport, VertexEngine};

@@ -192,18 +192,31 @@ pub fn mr_min_plus_multiply(
         vec![((ti, tj), prod)]
     })?;
 
-    // Round 2: min-combine the partial tiles of each output position.
-    let combined = eng.round_labelled(partials, "matmul:combine", |&(ti, tj), tiles| {
-        let mut acc = vec![MP_INF; tile * tile];
-        for tdata in tiles {
+    // Round 2: min-combine the partial tiles of each output position, with
+    // a map-side combiner so each map chunk ships at most one partial tile
+    // per output position (element-wise min is commutative + associative).
+    let combined = eng.round_combined(
+        partials,
+        "matmul:combine",
+        |acc: &mut Vec<u64>, tdata| {
             for (slot, v) in acc.iter_mut().zip(tdata) {
                 if v < *slot {
                     *slot = v;
                 }
             }
-        }
-        vec![((ti, tj), acc)]
-    })?;
+        },
+        |&(ti, tj), tiles| {
+            let mut acc = vec![MP_INF; tile * tile];
+            for tdata in tiles {
+                for (slot, v) in acc.iter_mut().zip(tdata) {
+                    if v < *slot {
+                        *slot = v;
+                    }
+                }
+            }
+            vec![((ti, tj), acc)]
+        },
+    )?;
 
     let mut out = MinPlusMatrix {
         n,

@@ -11,19 +11,22 @@
 
 use crate::engine::MrEngine;
 use crate::error::MrError;
+use crate::shuffle::ShuffleSize;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Distributed sample sort. Returns the values in nondecreasing order.
 ///
 /// Three rounds: (1) a sample is gathered at one reducer which emits
-/// `partitions - 1` splitters, (2) bucket sizes are counted, (3) elements
-/// are routed to their bucket, locally sorted, and emitted with their global
-/// rank. The per-reducer load of rounds 2–3 is `O(n / partitions + sample)`
-/// with high probability.
+/// `partitions - 1` splitters, (2) bucket sizes are counted **with a
+/// map-side combiner** (each map chunk ships one partial count per bucket
+/// instead of one pair per element), (3) elements are routed to their
+/// bucket, locally sorted, and emitted with their global rank. The
+/// per-reducer load of rounds 2–3 is `O(n / partitions + sample)` with high
+/// probability.
 pub fn mr_sort<T>(eng: &mut MrEngine, items: Vec<T>, seed: u64) -> Result<Vec<T>, MrError>
 where
-    T: Ord + Clone + Send + Sync,
+    T: Ord + Clone + Send + Sync + ShuffleSize,
 {
     let n = items.len();
     if n <= 1 {
@@ -60,11 +63,15 @@ where
 
     let bucket_of = |x: &T| -> u32 { splitters.partition_point(|s| s <= x) as u32 };
 
-    // Round 2 — count bucket sizes.
-    let counted = eng.round_labelled(
-        items.iter().map(|x| (bucket_of(x), ())).collect::<Vec<_>>(),
+    // Round 2 — count bucket sizes (combiner: per-chunk partial counts).
+    let counted = eng.round_combined(
+        items
+            .iter()
+            .map(|x| (bucket_of(x), 1usize))
+            .collect::<Vec<_>>(),
         "sort:count",
-        |&b, vs: Vec<()>| vec![(b, vs.len())],
+        |acc, c| *acc += c,
+        |&b, vs: Vec<usize>| vec![(b, vs.into_iter().sum::<usize>())],
     )?;
     let mut sizes = vec![0usize; buckets.max(1)];
     for (b, c) in counted {
@@ -102,7 +109,8 @@ where
 
 /// Distributed *exclusive* prefix sum: `out[i] = Σ_{j < i} values[j]`.
 ///
-/// Two rounds: (1) per-block totals, (2) per-block local scan offset by the
+/// Two rounds: (1) per-block totals, combined map-side so each map chunk
+/// ships one partial sum per block, (2) per-block local scan offset by the
 /// driver-side scan of the `O(partitions)` block totals.
 pub fn mr_prefix_sum(eng: &mut MrEngine, values: Vec<u64>) -> Result<Vec<u64>, MrError> {
     let n = values.len();
@@ -113,14 +121,15 @@ pub fn mr_prefix_sum(eng: &mut MrEngine, values: Vec<u64>) -> Result<Vec<u64>, M
     let block_size = n.div_ceil(blocks);
     let block_of = |i: usize| (i / block_size) as u32;
 
-    // Round 1 — block totals.
-    let totals = eng.round_labelled(
+    // Round 1 — block totals (combiner: per-chunk partial sums).
+    let totals = eng.round_combined(
         values
             .iter()
             .enumerate()
             .map(|(i, &v)| (block_of(i), v))
             .collect::<Vec<_>>(),
         "prefix:totals",
+        |acc, v| *acc += v,
         |&b, vs: Vec<u64>| vec![(b, vs.iter().sum::<u64>())],
     )?;
     let mut block_sums = vec![0u64; blocks];

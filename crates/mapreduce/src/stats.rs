@@ -1,4 +1,11 @@
 //! Round-by-round metrics ledger — the quantities the MR model charges.
+//!
+//! Since the combiner refactor every round is charged on **both sides of the
+//! combiner**: `map_pairs`/`map_bytes` are what the map side emitted, and
+//! `input_pairs`/`input_bytes` are what actually entered the shuffle after
+//! map-side combining. For rounds without a combiner the two coincide. Bytes
+//! are computed through [`crate::shuffle::ShuffleSize`], so heap payloads
+//! (e.g. `Vec` messages, sketches) are charged at their full wire size.
 
 use std::fmt;
 
@@ -7,20 +14,35 @@ use std::fmt;
 pub struct RoundStats {
     /// 0-based round index within the owning engine.
     pub round: usize,
-    /// Pairs entering the shuffle (the round's communication volume).
+    /// Pairs emitted by the map side, before any combiner ran.
+    pub map_pairs: usize,
+    /// Bytes emitted by the map side ([`crate::shuffle::ShuffleSize`]).
+    pub map_bytes: usize,
+    /// Pairs entering the shuffle — after map-side combining, if any
+    /// (equals [`RoundStats::map_pairs`] for uncombined rounds).
     pub input_pairs: usize,
-    /// Approximate shuffled bytes (`input_pairs × size_of::<(K, V)>()`).
+    /// Bytes entering the shuffle, after map-side combining.
     pub input_bytes: usize,
     /// Pairs produced by the reducers.
     pub output_pairs: usize,
     /// Number of distinct keys.
     pub num_keys: usize,
     /// Largest reducer group — the round's local-memory (`M_L`) footprint.
+    /// Vertex supersteps charge the **pre-combine** in-degree here (the
+    /// model's per-key demand); `MrEngine::round_combined` charges the
+    /// post-combine group it actually materializes.
     pub max_group: usize,
     /// Groups whose size exceeded the configured `M_L` (0 when no budget).
     pub violations: usize,
     /// Free-form label for reporting ("sort:sample", "vertex:step", …).
     pub label: &'static str,
+}
+
+impl RoundStats {
+    /// Pairs the combiner removed before the shuffle.
+    pub fn combined_away(&self) -> usize {
+        self.map_pairs.saturating_sub(self.input_pairs)
+    }
 }
 
 /// Accumulated metrics over an engine's lifetime.
@@ -41,17 +63,38 @@ impl MrStats {
         self.rounds.len()
     }
 
-    /// Total pairs shuffled over all rounds (aggregate communication volume).
+    /// Total pairs shuffled over all rounds (aggregate communication
+    /// volume, **post-combine**).
     pub fn total_pairs(&self) -> u64 {
         self.rounds.iter().map(|r| r.input_pairs as u64).sum()
     }
 
-    /// Total approximate bytes shuffled over all rounds.
+    /// Total pairs the map side emitted over all rounds (**pre-combine**).
+    pub fn total_map_pairs(&self) -> u64 {
+        self.rounds.iter().map(|r| r.map_pairs as u64).sum()
+    }
+
+    /// Total bytes shuffled over all rounds (post-combine wire size).
     pub fn total_bytes(&self) -> u64 {
         self.rounds.iter().map(|r| r.input_bytes as u64).sum()
     }
 
-    /// Peak per-round communication volume, in pairs.
+    /// Total bytes the map side emitted over all rounds (pre-combine).
+    pub fn total_map_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.map_bytes as u64).sum()
+    }
+
+    /// Aggregate combiner effectiveness: pre-combine pairs per shuffled
+    /// pair (1.0 when no combiner ran or nothing combined).
+    pub fn combine_ratio(&self) -> f64 {
+        let shuffled = self.total_pairs();
+        if shuffled == 0 {
+            return 1.0;
+        }
+        self.total_map_pairs() as f64 / shuffled as f64
+    }
+
+    /// Peak per-round communication volume, in shuffled pairs.
     pub fn max_round_pairs(&self) -> usize {
         self.rounds.iter().map(|r| r.input_pairs).max().unwrap_or(0)
     }
@@ -83,9 +126,11 @@ impl fmt::Display for MrStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "rounds = {}, total pairs = {}, peak round pairs = {}, peak M_L = {}",
+            "rounds = {}, map pairs = {}, shuffled pairs = {} ({:.2}x combine), peak round pairs = {}, peak M_L = {}",
             self.num_rounds(),
+            self.total_map_pairs(),
             self.total_pairs(),
+            self.combine_ratio(),
             self.max_round_pairs(),
             self.max_local_memory()
         )
@@ -99,6 +144,8 @@ mod tests {
     fn round(pairs: usize, max_group: usize) -> RoundStats {
         RoundStats {
             round: 0,
+            map_pairs: pairs,
+            map_bytes: pairs * 8,
             input_pairs: pairs,
             input_bytes: pairs * 8,
             output_pairs: pairs,
@@ -116,9 +163,25 @@ mod tests {
         s.push(round(30, 9));
         assert_eq!(s.num_rounds(), 2);
         assert_eq!(s.total_pairs(), 40);
+        assert_eq!(s.total_map_pairs(), 40);
         assert_eq!(s.max_round_pairs(), 30);
         assert_eq!(s.max_local_memory(), 9);
         assert_eq!(s.rounds()[1].round, 1); // renumbered
+    }
+
+    #[test]
+    fn combine_accounting() {
+        let mut s = MrStats::default();
+        let mut r = round(100, 4);
+        r.input_pairs = 25;
+        r.input_bytes = 200;
+        s.push(r);
+        assert_eq!(s.total_map_pairs(), 100);
+        assert_eq!(s.total_pairs(), 25);
+        assert_eq!(s.total_map_bytes(), 800);
+        assert_eq!(s.total_bytes(), 200);
+        assert!((s.combine_ratio() - 4.0).abs() < 1e-12);
+        assert_eq!(s.rounds()[0].combined_away(), 75);
     }
 
     #[test]
@@ -140,12 +203,15 @@ mod tests {
         assert_eq!(s.num_rounds(), 0);
         assert_eq!(s.max_round_pairs(), 0);
         assert_eq!(s.max_local_memory(), 0);
+        assert!((s.combine_ratio() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn display_smoke() {
         let mut s = MrStats::default();
         s.push(round(5, 2));
-        assert!(s.to_string().contains("rounds = 1"));
+        let text = s.to_string();
+        assert!(text.contains("rounds = 1"), "{text}");
+        assert!(text.contains("shuffled pairs = 5"), "{text}");
     }
 }

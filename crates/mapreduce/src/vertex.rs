@@ -8,16 +8,26 @@
 //! the metrics ledger charges the messages actually sent.
 //!
 //! Messages must form a commutative semigroup ([`Combine`]) so they can be
-//! merged en route — exactly the combiner optimization every real engine
-//! applies to BFS-style minimum propagation and HADI-style sketch ORs.
+//! merged en route — and since the combiner refactor they *are* merged
+//! **map-side**: each sender chunk keeps at most one combined message per
+//! destination in its per-partition cell, so a superstep ships one pair per
+//! `(destination, sender chunk)` instead of one per edge. The ledger
+//! records both volumes (`map_pairs` = per-edge, `input_pairs` =
+//! post-combine), which is the paper's `M_G` discipline made observable.
+//! All scatter/gather buffers are owned by the engine and reused across
+//! supersteps instead of being reallocated each step.
 
 use crate::config::MrConfig;
+use crate::shuffle::ShuffleSize;
 use crate::stats::{MrStats, RoundStats};
 use pardec_graph::{CsrGraph, NodeId};
 use rayon::prelude::*;
 
 /// A message type with a commutative, associative merge.
-pub trait Combine: Clone + Send + Sync {
+///
+/// The [`ShuffleSize`] supertrait lets the ledger charge heap-carrying
+/// messages (sketches, vectors) at their real wire size.
+pub trait Combine: Clone + Send + Sync + ShuffleSize {
     /// Merges `other` into `self`. Must be commutative and associative;
     /// idempotence is not required (but all messages in this workspace are
     /// idempotent: min, OR).
@@ -29,12 +39,52 @@ pub trait Combine: Clone + Send + Sync {
 pub struct StepReport {
     /// Vertices whose outbox was non-empty at the start of the step.
     pub senders: usize,
-    /// Total `(destination, message)` pairs shuffled (pre-combining).
+    /// Total `(destination, message)` pairs the map side emitted — one per
+    /// out-edge of a sender, **before** combining.
     pub messages: u64,
+    /// Pairs that actually entered the shuffle after map-side combining:
+    /// at most one per `(destination, sender chunk)`.
+    pub combined_messages: u64,
     /// Vertices that received at least one (combined) message.
     pub receivers: usize,
     /// Vertices that queued a broadcast for the next step.
     pub activated: usize,
+}
+
+/// Per-sender-chunk scratch for map-side combining: a dense
+/// destination → cell-slot map with epoch tagging, so clearing between
+/// supersteps is O(1).
+///
+/// Footprint: `2 × n × u32` per chunk, up to `partitions` chunks — fine at
+/// the workloads this workspace runs, but `O(partitions × n)` in the worst
+/// case; ROADMAP records the per-partition-range / sort-based alternatives
+/// for multi-million-node graphs.
+struct ChunkScratch {
+    /// Slot of the destination's combined entry in its cell.
+    slot: Vec<u32>,
+    /// Epoch at which `slot[t]` was written; stale entries are ignored.
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl ChunkScratch {
+    fn new(n: usize) -> Self {
+        ChunkScratch {
+            slot: vec![0; n],
+            mark: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn advance(&mut self) {
+        match self.epoch.checked_add(1) {
+            Some(e) => self.epoch = e,
+            None => {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                self.epoch = 1;
+            }
+        }
+    }
 }
 
 /// Superstep executor for one graph.
@@ -51,6 +101,18 @@ pub struct VertexEngine<'g, S, M> {
     partitions: usize,
     supersteps: usize,
     stats: MrStats,
+    // --- buffers reused across supersteps (allocated once, cleared) ---
+    /// Senders of the current step.
+    senders: Vec<NodeId>,
+    /// Map-side cells, chunk-major: `cells[c * num_parts + p]` holds chunk
+    /// `c`'s combined messages for destination partition `p`, each entry
+    /// `(dst, pre-combine count, message)`.
+    cells: Vec<Vec<(NodeId, u32, M)>>,
+    /// Per-chunk combining scratch (lazily grown to the chunk count).
+    scratch: Vec<ChunkScratch>,
+    /// Combined inbox (one slot per vertex) and pre-combine in-degree.
+    inbox: Vec<Option<M>>,
+    in_count: Vec<u32>,
 }
 
 impl<'g, S, M> VertexEngine<'g, S, M>
@@ -58,17 +120,35 @@ where
     S: Send + Sync,
     M: Combine,
 {
-    /// Creates an engine with state initialized per vertex (in parallel).
+    /// Creates an engine with state initialized per vertex (in parallel),
+    /// using the ambient default partition count
+    /// ([`MrConfig::default_partitions`]).
     pub fn new(g: &'g CsrGraph, init: impl Fn(NodeId) -> S + Sync) -> Self {
+        Self::with_partitions(g, MrConfig::default_partitions(), init)
+    }
+
+    /// Creates an engine with an explicit partition count (the scheduling
+    /// grid for both sender chunking and destination ranges). The partition
+    /// count never changes results — only the ledger's cell granularity.
+    pub fn with_partitions(
+        g: &'g CsrGraph,
+        partitions: usize,
+        init: impl Fn(NodeId) -> S + Sync,
+    ) -> Self {
         let n = g.num_nodes();
         let state: Vec<S> = (0..n as NodeId).into_par_iter().map(&init).collect();
         VertexEngine {
             g,
             state,
             outbox: (0..n).map(|_| None).collect(),
-            partitions: MrConfig::default_partitions(),
+            partitions: partitions.max(1),
             supersteps: 0,
             stats: MrStats::default(),
+            senders: Vec::new(),
+            cells: Vec::new(),
+            scratch: Vec::new(),
+            inbox: (0..n).map(|_| None).collect(),
+            in_count: vec![0; n],
         }
     }
 
@@ -91,6 +171,11 @@ where
         self.supersteps
     }
 
+    /// The configured partition count.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
     /// The metrics ledger (one entry per superstep).
     pub fn stats(&self) -> &MrStats {
         &self.stats
@@ -108,55 +193,107 @@ where
 
     /// Runs one superstep:
     ///
-    /// 1. every queued message is broadcast along all edges of its vertex
-    ///    and combined per destination (the shuffle);
+    /// 1. every queued message is broadcast along all edges of its vertex,
+    ///    **combined map-side** per `(destination, sender chunk)` cell, and
+    ///    merged per destination (the shuffle);
     /// 2. `apply(v, &mut state[v], combined_msg)` runs for every vertex that
     ///    received something; its return value, if any, becomes `v`'s queued
     ///    broadcast for the next step.
     pub fn step(&mut self, apply: impl Fn(NodeId, &mut S, &M) -> Option<M> + Sync) -> StepReport {
         let n = self.g.num_nodes();
-        let part_size = n.div_ceil(self.partitions.max(1)).max(1);
+        let parts = self.partitions.max(1);
+        let part_size = n.div_ceil(parts).max(1);
         let num_parts = n.div_ceil(part_size).max(1);
         let g = self.g;
+
+        // Senders of this step (buffer reused).
+        self.senders.clear();
+        self.senders
+            .extend((0..n as NodeId).filter(|&v| self.outbox[v as usize].is_some()));
+        let senders = self.senders.len();
         let outbox = &self.outbox;
+        let messages: u64 = self.senders.par_iter().map(|&v| g.degree(v) as u64).sum();
+        let map_bytes: u64 = self
+            .senders
+            .par_iter()
+            .map(|&v| {
+                let m = outbox[v as usize].as_ref().expect("sender has message");
+                g.degree(v) as u64
+                    * (std::mem::size_of::<NodeId>() as u64 + m.shuffle_bytes() as u64)
+            })
+            .sum();
 
-        let senders_list: Vec<NodeId> = (0..n as NodeId)
-            .filter(|&v| outbox[v as usize].is_some())
-            .collect();
-        let senders = senders_list.len();
-        let messages: u64 = senders_list.par_iter().map(|&v| g.degree(v) as u64).sum();
+        // Chunk grid: ≤ `parts` sender chunks, a function of the
+        // configuration only — never the pool size — so cell layout and
+        // everything derived from it is pool-size independent.
+        let chunk = senders.div_ceil(parts).max(1);
+        let num_chunks = senders.div_ceil(chunk).max(1);
 
-        // Phase 1 (scatter): per sender-chunk buffers bucketed by destination
-        // partition, so phase 2 can merge without locks.
-        let chunk = senders_list.len().div_ceil(self.partitions.max(1)).max(1);
-        let buffers: Vec<Vec<Vec<(NodeId, M)>>> = senders_list
-            .par_chunks(chunk)
-            .map(|chunk_nodes| {
-                let mut out: Vec<Vec<(NodeId, M)>> = (0..num_parts).map(|_| Vec::new()).collect();
+        // Grow the reusable buffers to this step's grid, clear used cells.
+        let want_cells = num_chunks * num_parts;
+        if self.cells.len() < want_cells {
+            self.cells.resize_with(want_cells, Vec::new);
+        }
+        while self.scratch.len() < num_chunks {
+            self.scratch.push(ChunkScratch::new(n));
+        }
+        for cell in &mut self.cells[..want_cells] {
+            cell.clear();
+        }
+
+        // Phase 1 (scatter + map-side combine): each sender chunk keeps at
+        // most one combined entry per destination in its per-partition cell.
+        self.cells[..want_cells]
+            .par_chunks_mut(num_parts)
+            .zip(self.scratch[..num_chunks].par_iter_mut())
+            .zip(self.senders.par_chunks(chunk))
+            .for_each(|((row, scratch), chunk_nodes)| {
+                scratch.advance();
                 for &v in chunk_nodes {
                     let m = outbox[v as usize].as_ref().expect("sender has message");
                     for &t in g.neighbors(v) {
-                        out[t as usize / part_size].push((t, m.clone()));
+                        let ti = t as usize;
+                        let cell = &mut row[ti / part_size];
+                        if scratch.mark[ti] == scratch.epoch {
+                            let entry = &mut cell[scratch.slot[ti] as usize];
+                            entry.1 += 1;
+                            entry.2.combine(m);
+                        } else {
+                            scratch.mark[ti] = scratch.epoch;
+                            scratch.slot[ti] = cell.len() as u32;
+                            cell.push((t, 1, m.clone()));
+                        }
                     }
                 }
-                out
+            });
+        let used_cells = &self.cells[..want_cells];
+        let combined_messages: u64 = used_cells.par_iter().map(|c| c.len() as u64).sum();
+        let input_bytes: u64 = used_cells
+            .par_iter()
+            .map(|c| {
+                c.iter()
+                    .map(|(_, _, m)| {
+                        std::mem::size_of::<NodeId>() as u64 + m.shuffle_bytes() as u64
+                    })
+                    .sum::<u64>()
             })
-            .collect();
+            .sum();
 
-        // Phase 2 (combine): each destination partition owns a disjoint
-        // slice of the inbox.
-        let mut inbox: Vec<Option<M>> = (0..n).map(|_| None).collect();
-        let mut in_count: Vec<u32> = vec![0; n];
-        inbox
+        // Phase 2 (merge): each destination partition owns a disjoint slice
+        // of the (reused) inbox; it clears its slice, then folds in every
+        // chunk's cell for this partition.
+        self.inbox
             .par_chunks_mut(part_size)
-            .zip(in_count.par_chunks_mut(part_size))
+            .zip(self.in_count.par_chunks_mut(part_size))
             .enumerate()
             .for_each(|(p, (slot_chunk, count_chunk))| {
+                slot_chunk.iter_mut().for_each(|s| *s = None);
+                count_chunk.iter_mut().for_each(|c| *c = 0);
                 let base = p * part_size;
-                for buf in &buffers {
-                    for (t, m) in &buf[p] {
+                for c in 0..num_chunks {
+                    for (t, pre, m) in &used_cells[c * num_parts + p] {
                         let idx = *t as usize - base;
-                        count_chunk[idx] += 1;
+                        count_chunk[idx] += pre;
                         match &mut slot_chunk[idx] {
                             Some(cur) => cur.combine(m),
                             slot @ None => *slot = Some(m.clone()),
@@ -164,24 +301,34 @@ where
                     }
                 }
             });
-        let receivers = in_count.par_iter().filter(|&&c| c > 0).count();
-        let max_in = in_count.par_iter().copied().max().unwrap_or(0) as usize;
+        let receivers = self.in_count.par_iter().filter(|&&c| c > 0).count();
+        let max_in = self.in_count.par_iter().copied().max().unwrap_or(0) as usize;
 
-        // Phase 3 (apply): run the vertex function where something arrived.
-        let new_outbox: Vec<Option<M>> = self
-            .state
+        // Phase 3 (apply): clear the consumed outbox slots, then run the
+        // vertex function where something arrived, writing next-step
+        // broadcasts back into the outbox in place.
+        for &v in &self.senders {
+            self.outbox[v as usize] = None;
+        }
+        let (state, outbox, inbox) = (&mut self.state, &mut self.outbox, &self.inbox);
+        state
             .par_iter_mut()
+            .zip(outbox.par_iter_mut())
             .zip(inbox.par_iter())
             .enumerate()
-            .map(|(v, (s, m))| m.as_ref().and_then(|m| apply(v as NodeId, s, m)))
-            .collect();
-        let activated = new_outbox.par_iter().filter(|o| o.is_some()).count();
-        self.outbox = new_outbox;
+            .for_each(|(v, ((s, o), m))| {
+                if let Some(m) = m {
+                    *o = apply(v as NodeId, s, m);
+                }
+            });
+        let activated = self.outbox.par_iter().filter(|o| o.is_some()).count();
         self.supersteps += 1;
         self.stats.push(RoundStats {
             round: 0,
-            input_pairs: messages as usize,
-            input_bytes: messages as usize * (std::mem::size_of::<(NodeId, M)>()),
+            map_pairs: messages as usize,
+            map_bytes: map_bytes as usize,
+            input_pairs: combined_messages as usize,
+            input_bytes: input_bytes as usize,
             output_pairs: activated,
             num_keys: receivers,
             max_group: max_in,
@@ -191,6 +338,7 @@ where
         StepReport {
             senders,
             messages,
+            combined_messages,
             receivers,
             activated,
         }
@@ -219,6 +367,8 @@ where
 /// component labels, cluster claims).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Min<T: Ord + Copy + Send + Sync>(pub T);
+
+impl<T: Ord + Copy + Send + Sync> ShuffleSize for Min<T> {}
 
 impl<T: Ord + Copy + Send + Sync> Combine for Min<T> {
     fn combine(&mut self, other: &Self) {
@@ -257,6 +407,7 @@ mod tests {
         });
         assert_eq!(rep.senders, 1);
         assert_eq!(rep.messages, 4); // hub degree
+        assert_eq!(rep.combined_messages, 4); // distinct destinations: no savings
         assert_eq!(rep.receivers, 4);
         assert_eq!(rep.activated, 4);
         assert_eq!(eng.state, vec![0, 1, 1, 1, 1]);
@@ -276,6 +427,53 @@ mod tests {
         assert_eq!(rep.messages, 2);
         assert_eq!(rep.receivers, 1);
         assert_eq!(eng.state[1], 3);
+    }
+
+    #[test]
+    fn map_side_combining_reduces_shuffled_pairs() {
+        // One sender chunk (partitions = 1): every destination receives
+        // exactly one combined pair no matter how many senders hit it.
+        let g = generators::star(9); // leaves 1..=8 all point at hub 0
+        let mut eng: VertexEngine<u32, Min<u32>> = VertexEngine::with_partitions(&g, 1, |_| 0);
+        for v in 1..9 {
+            eng.post(v, Min(v));
+        }
+        let rep = eng.step(|_, s, m| {
+            *s = m.0;
+            None
+        });
+        assert_eq!(rep.messages, 8); // map side: one per edge
+        assert_eq!(rep.combined_messages, 1); // shuffle: one per (dst, chunk)
+        assert_eq!(rep.receivers, 1);
+        assert_eq!(eng.state[0], 1); // the min won
+        let r = &eng.stats().rounds()[0];
+        assert_eq!(r.map_pairs, 8);
+        assert_eq!(r.input_pairs, 1);
+        assert_eq!(r.max_group, 8); // pre-combine in-degree: the M_L demand
+    }
+
+    #[test]
+    fn combining_is_partition_count_independent() {
+        let g = generators::preferential_attachment(200, 3, 7);
+        let run = |partitions: usize| {
+            let mut eng: VertexEngine<u32, Min<u32>> =
+                VertexEngine::with_partitions(&g, partitions, |_| u32::MAX);
+            eng.state[0] = 0;
+            eng.post(0, Min(1));
+            eng.run_to_quiescence(1000, |_, s, m| {
+                if m.0 < *s {
+                    *s = m.0;
+                    Some(Min(m.0 + 1))
+                } else {
+                    None
+                }
+            });
+            eng.state
+        };
+        let reference = run(1);
+        for partitions in [2, 3, 5, 16, 64] {
+            assert_eq!(run(partitions), reference, "partitions = {partitions}");
+        }
     }
 
     #[test]
@@ -312,9 +510,11 @@ mod tests {
                 None
             }
         });
-        let total = eng.stats().total_pairs();
-        // Aggregate message volume for BFS on a cycle is Θ(n).
-        assert!((8..=4 * 8 + 4).contains(&total), "total = {total}");
+        // Aggregate pre-combine message volume for BFS on a cycle is Θ(n);
+        // the combined volume can only be smaller.
+        let map_total = eng.stats().total_map_pairs();
+        assert!((8..=4 * 8 + 4).contains(&map_total), "map = {map_total}");
+        assert!(eng.stats().total_pairs() <= map_total);
     }
 
     #[test]

@@ -133,6 +133,68 @@ fn frontier_strategies_byte_identical_across_pool_sizes() {
     }
 }
 
+/// The MR emulation after the radix-shuffle + combiner refactor: for a
+/// fixed seed, `mr_cluster` and `mr_hadi` (the Table 4 competitors that run
+/// on [`pardec::mr::VertexEngine`]) produce byte-identical results on a
+/// 1-thread and a 4-thread pool — even though the *default* partition count
+/// is pool-size dependent (4 × threads): the map-side combiner is
+/// commutative and associative, so neither the chunk grid nor the thread
+/// interleaving can reach the outputs. A generic radix round is covered by
+/// `tests/proptests_mr.rs`.
+#[test]
+fn mr_cluster_is_byte_identical_across_pool_sizes() {
+    use pardec::core::mr_impl::mr_cluster;
+    for (name, g) in workload_graphs() {
+        let (one, four) = on_both_pools(|| {
+            let r = mr_cluster(&g, &ClusterParams::new(8, 42));
+            (r.clustering, r.supersteps, r.trace)
+        });
+        assert_eq!(one, four, "mr_cluster() diverged on {name}");
+    }
+}
+
+#[test]
+fn mr_hadi_is_byte_identical_across_pool_sizes() {
+    use pardec::core::hadi::mr_hadi;
+    for (name, g) in workload_graphs() {
+        let (one, four) = on_both_pools(|| {
+            let mut p = HadiParams::new(3);
+            p.trials = 8;
+            // The full estimator output, including the f64 neighbourhood
+            // sums only the fixed merge tree keeps stable.
+            let (r, stats) = mr_hadi(&g, &p);
+            (r, stats.total_map_pairs())
+        });
+        assert_eq!(one, four, "mr_hadi() diverged on {name}");
+    }
+}
+
+/// Explicit partition counts (including the odd `3` that CI pins via
+/// `PARDEC_PARTITIONS`) never change MR results either.
+#[test]
+fn mr_cluster_is_partition_count_invariant() {
+    use pardec::core::mr_impl::mr_cluster_with;
+    use pardec::mr::MrConfig;
+    let g = generators::windowed_preferential_attachment(3_000, 6, 0.025, 11);
+    let reference = mr_cluster_with(
+        &g,
+        &ClusterParams::new(8, 42),
+        &MrConfig::with_partitions(1),
+    );
+    for partitions in [2usize, 3, 7, 16] {
+        let r = mr_cluster_with(
+            &g,
+            &ClusterParams::new(8, 42),
+            &MrConfig::with_partitions(partitions),
+        );
+        assert_eq!(
+            r.clustering, reference.clustering,
+            "clustering diverged at {partitions} partitions"
+        );
+        assert_eq!(r.supersteps, reference.supersteps);
+    }
+}
+
 #[test]
 fn hadi_is_byte_identical_across_pool_sizes() {
     for (name, g) in workload_graphs() {

@@ -1,0 +1,188 @@
+//! Property tests for the radix-shuffle MR engine: arbitrary key/value
+//! multisets × partition counts × pool sizes, asserting
+//!
+//! 1. the radix engine is **byte-for-byte** equal to the naive reference
+//!    engine (sequential routing, first-arrival group-by — the executable
+//!    spec of a round),
+//! 2. the map-side combiner path produces exactly the uncombined output,
+//! 3. values arrive at the reducer in input order within each key, and
+//! 4. outputs are identical on a 1-thread and a 4-thread pool.
+
+use pardec::mr::shuffle::partition_of;
+use pardec::mr::{MrConfig, MrEngine};
+use proptest::prelude::*;
+use proptest::strategy::Just;
+
+/// The naive reference engine: what one round *means*. Pairs are routed
+/// sequentially to `partition_of(key)`; within a partition, groups are
+/// emitted in first-arrival order with values in arrival order; partition
+/// outputs are concatenated in partition order.
+fn naive_round<K, V, K2, V2, F>(input: &[(K, V)], partitions: usize, reducer: F) -> Vec<(K2, V2)>
+where
+    K: std::hash::Hash + Eq + Clone,
+    V: Clone,
+    F: Fn(&K, Vec<V>) -> Vec<(K2, V2)>,
+{
+    let parts = partitions.max(1);
+    let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+    for (k, v) in input {
+        buckets[partition_of(k, parts)].push((k.clone(), v.clone()));
+    }
+    let mut out = Vec::new();
+    for bucket in buckets {
+        let mut keys: Vec<K> = Vec::new();
+        let mut groups: Vec<Vec<V>> = Vec::new();
+        for (k, v) in bucket {
+            match keys.iter().position(|q| *q == k) {
+                Some(i) => groups[i].push(v),
+                None => {
+                    keys.push(k);
+                    groups.push(vec![v]);
+                }
+            }
+        }
+        for (k, vs) in keys.iter().zip(groups) {
+            out.extend(reducer(k, vs));
+        }
+    }
+    out
+}
+
+fn on_pool<T: Send>(threads: usize, f: impl Fn() -> T + Sync + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail")
+        .install(f)
+}
+
+/// Key/value multisets with deliberately small key spaces (collisions and
+/// fat groups) and occasional adversarial shapes (all-equal, empty).
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u16, u16)>> {
+    prop_oneof![
+        proptest::collection::vec((0u16..24, any::<u16>()), 0..400),
+        proptest::collection::vec((Just(7u16), any::<u16>()), 0..100), // one fat key
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..400), // sparse keys
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identity reducer: the full (key order × value order × routing)
+    /// contract, radix vs naive, at two pool sizes.
+    #[test]
+    fn radix_equals_naive_byte_for_byte(
+        input in pairs_strategy(),
+        partitions in 1usize..12,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let expected = naive_round(&input, partitions, |&k, vs: Vec<u16>| {
+            vs.into_iter().map(|v| (k, v)).collect()
+        });
+        let got = on_pool(threads, || {
+            let mut eng = MrEngine::new(MrConfig::with_partitions(partitions));
+            eng.round(input.clone(), |&k, vs| {
+                vs.into_iter().map(|v| (k, v)).collect::<Vec<_>>()
+            })
+            .expect("accounting-only round cannot fail")
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Aggregating reducer with a matching combiner: the combined path must
+    /// produce exactly the uncombined output (same pairs, same order), and
+    /// the ledger must record both the pre- and post-combine volumes.
+    #[test]
+    fn combiner_path_equals_uncombined(
+        input in pairs_strategy(),
+        partitions in 1usize..12,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        // Sum aggregation over u64 (no overflow from ≤400 u16 values), with
+        // addition as both the combiner and the reducer's fold.
+        let wide: Vec<(u16, u64)> = input.iter().map(|&(k, v)| (k, u64::from(v))).collect();
+        let (uncombined, combined, ledger) = on_pool(threads, || {
+            let mut plain = MrEngine::new(MrConfig::with_partitions(partitions));
+            let uncombined = plain
+                .round(wide.clone(), |&k, vs| {
+                    vec![(k, vs.into_iter().sum::<u64>())]
+                })
+                .expect("round cannot fail");
+            let mut comb = MrEngine::new(MrConfig::with_partitions(partitions));
+            let combined = comb
+                .round_combined(
+                    wide.clone(),
+                    "combined",
+                    |acc, v| *acc += v,
+                    |&k, vs| vec![(k, vs.into_iter().sum::<u64>())],
+                )
+                .expect("round cannot fail");
+            (uncombined, combined, comb.stats().clone())
+        });
+        prop_assert_eq!(&combined, &uncombined);
+        let r = &ledger.rounds()[0];
+        prop_assert_eq!(r.map_pairs, wide.len());
+        prop_assert!(r.input_pairs <= r.map_pairs);
+        // At most one shuffled pair per (key, map chunk).
+        let distinct = input.iter().map(|(k, _)| k).collect::<std::collections::BTreeSet<_>>().len();
+        prop_assert!(r.input_pairs <= distinct * partitions);
+    }
+
+    /// Arrival order within a key is the input order (the seed engine's
+    /// documented contract, preserved by the radix layout).
+    #[test]
+    fn values_arrive_in_input_order(
+        input in pairs_strategy(),
+        partitions in 1usize..12,
+    ) {
+        let mut eng = MrEngine::new(MrConfig::with_partitions(partitions));
+        let out = eng
+            .round(input.clone(), |&k, vs| vs.into_iter().map(|v| (k, v)).collect::<Vec<_>>())
+            .expect("round cannot fail");
+        for key in input.iter().map(|(k, _)| *k).collect::<std::collections::BTreeSet<_>>() {
+            let emitted: Vec<u16> = out.iter().filter(|(k, _)| *k == key).map(|(_, v)| *v).collect();
+            let original: Vec<u16> =
+                input.iter().filter(|(k, _)| *k == key).map(|(_, v)| *v).collect();
+            prop_assert_eq!(emitted, original, "key {}", key);
+        }
+    }
+
+    /// Pool size never changes a round's output (the runtime's headline
+    /// guarantee, now holding through the radix scatter).
+    #[test]
+    fn pool_size_invariance(
+        input in pairs_strategy(),
+        partitions in 1usize..12,
+    ) {
+        let run = |threads: usize| on_pool(threads, || {
+            let mut eng = MrEngine::new(MrConfig::with_partitions(partitions));
+            eng.round(input.clone(), |&k, vs| {
+                vs.into_iter().map(|v| (k, v)).collect::<Vec<_>>()
+            })
+            .expect("round cannot fail")
+        });
+        prop_assert_eq!(run(1), run(4));
+    }
+
+    /// Different partition counts permute output order but never the
+    /// multiset of results.
+    #[test]
+    fn partition_count_preserves_multiset(
+        input in pairs_strategy(),
+        a in 1usize..12,
+        b in 1usize..12,
+    ) {
+        let run = |partitions: usize| {
+            let mut eng = MrEngine::new(MrConfig::with_partitions(partitions));
+            let mut out = eng
+                .round(input.clone(), |&k, vs| {
+                    vec![(k, (vs.len() as u32, vs.into_iter().map(u64::from).sum::<u64>()))]
+                })
+                .expect("round cannot fail");
+            out.sort_unstable();
+            out
+        };
+        prop_assert_eq!(run(a), run(b));
+    }
+}
