@@ -1,37 +1,157 @@
-//! Criterion bench: quotient-graph machinery of §4 — unweighted and
-//! weighted construction plus the weighted quotient APSP diameter.
+//! Contraction-kernel bench: the parallel combine kernel against the
+//! seed-era sequential baselines on the §4 quotient machinery — one JSON
+//! line per configuration (the `bench_frontier` format).
+//!
+//! ```text
+//! cargo bench -p pardec-bench --bench bench_quotient
+//! ```
+//!
+//! Scale with `--scale {ci,default,full}` or `PARDEC_SCALE`. Every
+//! kernel-vs-naive comparison asserts **byte-identical** output (CSR
+//! arrays, weights) before its timing is reported — the bench doubles as an
+//! end-to-end equivalence check. Legs: mesh / power-law / road clusterings
+//! at 1, 2, and 4 threads, for the unweighted quotient, the weighted
+//! quotient, and the builder's symmetrize-dedup build; plus the weighted
+//! quotient APSP diameter the seed bench tracked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pardec_bench::workloads::Scale;
+use pardec_bench::{scale_from_args, timed};
 use pardec_core::{cluster, ClusterParams};
-use pardec_graph::generators;
-use pardec_graph::quotient::{quotient, weighted_quotient};
+use pardec_graph::quotient::{quotient_with_stats, weighted_quotient};
+use pardec_graph::{generators, naive, CsrGraph, GraphBuilder, NodeId};
 
-fn bench_quotient(c: &mut Criterion) {
-    let g = generators::mesh(150, 150);
-    let r = cluster(&g, &ClusterParams::new(8, 7));
-    let cl = r.clustering;
-    let k = cl.num_clusters();
+const THREAD_CONFIGS: [usize; 3] = [1, 2, 4];
 
-    let mut group = c.benchmark_group("quotient");
-    group.bench_function("unweighted", |b| b.iter(|| quotient(&g, &cl.assignment, k)));
-    group.bench_function("weighted", |b| {
-        b.iter(|| weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k))
-    });
-    let wq = weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k);
-    group.bench_function("weighted-apsp-diameter", |b| b.iter(|| wq.apsp_diameter()));
-    group.finish();
+/// Best-of-three wall-clock of `f` inside a pool of `threads` workers.
+fn best_of_3<T: Send>(threads: usize, f: impl Fn() -> T + Sync + Send) -> (T, f64) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail");
+    let _ = pool.install(&f); // warm-up
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..3 {
+        let (r, secs) = timed(|| pool.install(&f));
+        best = best.min(secs);
+        result = Some(r);
+    }
+    (result.expect("ran at least once"), best)
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(3))
+fn legs(scale: Scale) -> Vec<(&'static str, CsrGraph)> {
+    let (mesh_side, pl_nodes, road_side) = match scale {
+        Scale::Ci => (120usize, 30_000usize, 60usize),
+        Scale::Default => (300, 150_000, 140),
+        Scale::Full => (1000, 600_000, 320),
+    };
+    vec![
+        ("mesh", generators::mesh(mesh_side, mesh_side)),
+        (
+            "powerlaw",
+            generators::windowed_preferential_attachment(pl_nodes, 8, 0.025, 7),
+        ),
+        (
+            "road",
+            generators::road_network(road_side, road_side, 0.4, 12),
+        ),
+    ]
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_quotient
+fn main() {
+    let scale = scale_from_args();
+    for (name, g) in legs(scale) {
+        let r = cluster(&g, &ClusterParams::new(8, 7));
+        let cl = r.clustering;
+        let k = cl.num_clusters();
+        for threads in THREAD_CONFIGS {
+            // Unweighted quotient: kernel dedup vs the seed-era sequential
+            // sort-dedup pass.
+            let (naive_q, naive_secs) =
+                best_of_3(threads, || naive::quotient(&g, &cl.assignment, k));
+            let ((kernel_q, stats), kernel_secs) =
+                best_of_3(threads, || quotient_with_stats(&g, &cl.assignment, k));
+            assert_eq!(
+                kernel_q, naive_q,
+                "kernel and naive quotient diverged on {name} at {threads} threads"
+            );
+            println!(
+                "{{\"bench\":\"quotient\",\"case\":\"unweighted\",\"graph\":\"{}\",\
+                 \"nodes\":{},\"edges\":{},\"clusters\":{},\"cut_arcs\":{},\
+                 \"quotient_arcs\":{},\"combine_ratio\":{:.3},\"threads\":{},\
+                 \"seconds_naive\":{:.6},\"seconds_kernel\":{:.6},\
+                 \"speedup_kernel_vs_naive\":{:.3}}}",
+                name,
+                g.num_nodes(),
+                g.num_edges(),
+                k,
+                stats.input_pairs,
+                stats.output_pairs,
+                stats.combine_ratio(),
+                threads,
+                naive_secs,
+                kernel_secs,
+                naive_secs / kernel_secs
+            );
+
+            // Weighted quotient: kernel min-combine vs the HashMap pass.
+            let (naive_wq, naive_secs) = best_of_3(threads, || {
+                naive::weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k)
+            });
+            let (kernel_wq, kernel_secs) = best_of_3(threads, || {
+                weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k)
+            });
+            assert_eq!(
+                kernel_wq, naive_wq,
+                "kernel and naive weighted quotient diverged on {name} at {threads} threads"
+            );
+            println!(
+                "{{\"bench\":\"quotient\",\"case\":\"weighted\",\"graph\":\"{}\",\
+                 \"clusters\":{},\"threads\":{},\"seconds_naive\":{:.6},\
+                 \"seconds_kernel\":{:.6},\"speedup_kernel_vs_naive\":{:.3}}}",
+                name,
+                k,
+                threads,
+                naive_secs,
+                kernel_secs,
+                naive_secs / kernel_secs
+            );
+
+            // Builder: the kernel symmetrize + scatter build vs the seed-era
+            // sort-dedup build over the raw edge list.
+            let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+            let (naive_g, naive_secs) =
+                best_of_3(threads, || naive::build_csr(g.num_nodes(), &edges));
+            let (kernel_g, kernel_secs) = best_of_3(threads, || {
+                let mut b = GraphBuilder::with_capacity(g.num_nodes(), edges.len());
+                b.extend_edges(edges.iter().copied());
+                b.build()
+            });
+            assert_eq!(
+                kernel_g, naive_g,
+                "kernel and naive builder diverged on {name} at {threads} threads"
+            );
+            println!(
+                "{{\"bench\":\"quotient\",\"case\":\"builder\",\"graph\":\"{}\",\
+                 \"edges\":{},\"threads\":{},\"seconds_naive\":{:.6},\
+                 \"seconds_kernel\":{:.6},\"speedup_kernel_vs_naive\":{:.3}}}",
+                name,
+                edges.len(),
+                threads,
+                naive_secs,
+                kernel_secs,
+                naive_secs / kernel_secs
+            );
+        }
+
+        // The seed bench's quotient-diameter row, kept for trajectory
+        // continuity (4-thread pool).
+        let wq = weighted_quotient(&g, &cl.assignment, &cl.dist_to_center, k);
+        let (diam, secs) = best_of_3(4, || wq.apsp_diameter());
+        println!(
+            "{{\"bench\":\"quotient\",\"case\":\"weighted-apsp-diameter\",\"graph\":\"{}\",\
+             \"clusters\":{},\"diameter\":{},\"threads\":4,\"seconds\":{:.6}}}",
+            name, k, diam, secs
+        );
+    }
 }
-criterion_main!(benches);

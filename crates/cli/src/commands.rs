@@ -207,11 +207,17 @@ fn cmd_cluster(args: &Args) -> CmdResult {
         sizes.iter().min().unwrap_or(&0),
         sizes.iter().max().unwrap_or(&0)
     );
-    let q = clustering.quotient(&g);
+    let (q, kernel) = clustering.quotient_with_stats(&g);
     println!(
         "quotient      {} nodes / {} edges",
         q.num_nodes(),
         q.num_edges()
+    );
+    println!(
+        "kernel        {} cut edges -> {} ({:.2}x combine)",
+        kernel.input_pairs,
+        kernel.output_pairs,
+        kernel.combine_ratio()
     );
     if let Ok(path) = args.req("labels") {
         write_labels(path, &clustering)?;
@@ -235,6 +241,17 @@ fn cmd_diameter(args: &Args) -> CmdResult {
     println!(
         "quotient             {} nodes / {} edges",
         a.quotient_nodes, a.quotient_edges
+    );
+    // The kernel ledger describes the quotient *build*; when Theorem 4
+    // sparsification replaces the quotient afterwards, the row above
+    // reflects the spanner while this one keeps the pre-sparsification
+    // combine, so it deliberately says "combined", not "quotient", edges.
+    println!(
+        "contraction kernel   {} cut edges -> {} combined edges ({:.2}x combine, {} buckets)",
+        a.quotient_kernel.input_pairs,
+        a.quotient_kernel.output_pairs,
+        a.quotient_kernel.combine_ratio(),
+        a.quotient_kernel.buckets
     );
     println!("growth steps         {}", a.growth_steps);
     if args.has_flag("exact") {

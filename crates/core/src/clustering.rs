@@ -1,7 +1,7 @@
 //! The [`Clustering`] type: the common output of CLUSTER, CLUSTER2, and MPX,
 //! with structural validation used throughout the test suite.
 
-use pardec_graph::{quotient, CsrGraph, NodeId, WeightedGraph, INVALID_NODE};
+use pardec_graph::{quotient, CombineStats, CsrGraph, NodeId, WeightedGraph, INVALID_NODE};
 
 /// A partition of a graph's nodes into disjoint, internally connected
 /// clusters grown around centers.
@@ -56,9 +56,26 @@ impl Clustering {
         quotient::quotient(g, &self.assignment, self.num_clusters())
     }
 
+    /// [`Self::quotient`], also returning the combine kernel's ledger (cut
+    /// arcs in, quotient arcs out).
+    pub fn quotient_with_stats(&self, g: &CsrGraph) -> (CsrGraph, CombineStats) {
+        quotient::quotient_with_stats(g, &self.assignment, self.num_clusters())
+    }
+
     /// The weighted quotient graph of §4, with connecting-path edge weights.
     pub fn weighted_quotient(&self, g: &CsrGraph) -> WeightedGraph {
         quotient::weighted_quotient(
+            g,
+            &self.assignment,
+            &self.dist_to_center,
+            self.num_clusters(),
+        )
+    }
+
+    /// [`Self::weighted_quotient`], also returning the combine kernel's
+    /// ledger.
+    pub fn weighted_quotient_with_stats(&self, g: &CsrGraph) -> (WeightedGraph, CombineStats) {
+        quotient::weighted_quotient_with_stats(
             g,
             &self.assignment,
             &self.dist_to_center,

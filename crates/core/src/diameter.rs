@@ -18,7 +18,7 @@ use crate::cluster2::cluster2;
 use crate::clustering::Clustering;
 use pardec_graph::diameter as exact;
 use pardec_graph::frontier::FrontierStrategy;
-use pardec_graph::CsrGraph;
+use pardec_graph::{CombineStats, CsrGraph};
 
 /// Which decomposition feeds the quotient construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +95,13 @@ pub struct DiameterApprox {
     /// Quotient graph size (the paper's `n_C`, `m_C`).
     pub quotient_nodes: usize,
     pub quotient_edges: usize,
+    /// Combine-kernel ledger of the (unweighted) quotient build: undirected
+    /// cut edges fed in, unique quotient edges out — the paper's `m_C`
+    /// before and after multi-edge collapsing, as measured by the parallel
+    /// contraction kernel that performed it. Always describes the build
+    /// *before* any Theorem 4 sparsification; `quotient_edges` reflects the
+    /// spanner when sparsification replaced the quotient.
+    pub quotient_kernel: CombineStats,
     /// Cluster-growing steps spent — the parallel-rounds proxy of §5.
     pub growth_steps: usize,
     /// The clustering (for reuse: oracle construction, diagnostics).
@@ -129,7 +136,7 @@ pub fn approximate_diameter(g: &CsrGraph, params: &DiameterParams) -> DiameterAp
     };
     let radius = clustering.max_radius();
 
-    let mut q = clustering.quotient(g);
+    let (mut q, quotient_kernel) = clustering.quotient_with_stats(g);
     // Theorem 4: if the quotient exceeds the local-memory stand-in,
     // sparsify it with a (2k-1)-spanner before the diameter computation.
     let mut stretch = 1u64;
@@ -164,6 +171,7 @@ pub fn approximate_diameter(g: &CsrGraph, params: &DiameterParams) -> DiameterAp
         radius,
         quotient_nodes: q.num_nodes(),
         quotient_edges: q.num_edges(),
+        quotient_kernel,
         growth_steps,
         clustering,
     }
@@ -288,6 +296,18 @@ mod tests {
                 a.clustering.assignment.clone(),
             )
         });
+    }
+
+    #[test]
+    fn kernel_ledger_matches_quotient() {
+        let g = generators::mesh(30, 30);
+        let a = approximate_diameter(&g, &DiameterParams::new(8, 1));
+        // Without sparsification the reported quotient IS the kernel's
+        // output: its edge count is exactly the combined pair count, and
+        // the input side counts every undirected cut edge.
+        assert_eq!(a.quotient_kernel.output_pairs, a.quotient_edges);
+        assert!(a.quotient_kernel.input_pairs >= a.quotient_kernel.output_pairs);
+        assert!(a.quotient_kernel.combine_ratio() >= 1.0);
     }
 
     #[test]

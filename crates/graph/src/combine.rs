@@ -1,0 +1,648 @@
+//! Parallel edge-combine kernel: the contraction counterpart of the MR
+//! crate's radix shuffle.
+//!
+//! Every contraction path in this workspace — quotient construction,
+//! [`crate::GraphBuilder::build`], [`crate::contract::contract`]'s edge
+//! multiplicities, the Baswana–Sen spanner's final CSR build — reduces to
+//! the same primitive: *collapse a large multiset of `(key, value)` pairs to
+//! one entry per key under a fold* (dedup, min, or sum). The seed-era code
+//! did this with a sequential `HashMap` pass per call site; on power-law
+//! graphs that pass dominated `approximate_diameter` wall-clock.
+//!
+//! This module replaces all of them with one deterministic parallel kernel,
+//! mirroring the `pardec_mr::shuffle` design but living *below* the MR crate
+//! in the dependency DAG so the graph layer can use it directly:
+//!
+//! 1. **Count** — the input is split into a fixed chunk grid (a pure
+//!    function of the input length, never the pool size); each chunk
+//!    histograms its pairs per destination bucket, where a bucket is a
+//!    contiguous *range of keys* (`key >> shift`), not a hash class.
+//! 2. **Prefix** — an exclusive prefix sum over the `chunks × buckets`
+//!    count matrix (bucket-major, then chunk within bucket) assigns every
+//!    cell a disjoint range of **one** flat pre-sized buffer.
+//! 3. **Scatter** — a second parallel pass moves each pair into its slot;
+//!    bucket contents end up in global input order by construction.
+//! 4. **Sort + fold** — each bucket is sorted by key and folded in place
+//!    (equal-key runs collapse left-to-right), in parallel across buckets;
+//!    compacted buckets concatenate into the final buffer.
+//!
+//! Because buckets are key *ranges*, the concatenation is globally sorted by
+//! key — the output is the canonical sorted-unique form of the input
+//! multiset, a pure function of the input (independent of pool size, chunk
+//! grid, and bucket count). Byte-identical outputs at any thread count fall
+//! out for free, and sorted arcs are exactly what a CSR build needs: the
+//! offsets array is read straight off the combined buffer.
+//!
+//! The only `unsafe` here is the cell scatter (disjoint slots of one flat
+//! buffer written through raw pointers, the same invariant as the MR
+//! shuffle's scatter) and the final `MaybeUninit` → initialized conversion;
+//! all values are `Copy`, so panics can never double-drop.
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+use rayon::prelude::*;
+use std::mem::MaybeUninit;
+
+/// Inputs at or below this size skip the bucketed machinery and run one
+/// sequential sort + fold — same canonical output, none of the grid
+/// overhead (the seed-era builder used the same threshold for its
+/// parallel sort). Also the cutoff for sequential CSR offset builds.
+const SMALL: usize = 1 << 16;
+
+/// What one kernel invocation did — the contraction analogue of the MR
+/// engine's shuffle ledger. `input_pairs / output_pairs` is the combine
+/// ratio: how many parallel/duplicate records the fold collapsed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CombineStats {
+    /// Records fed to the kernel (for a quotient build: undirected cut
+    /// edges).
+    pub input_pairs: usize,
+    /// Distinct keys surviving the fold (for a quotient build: unique
+    /// quotient edges).
+    pub output_pairs: usize,
+    /// Buckets of the scatter grid (1 for the sequential small-input path).
+    pub buckets: usize,
+}
+
+impl CombineStats {
+    /// `input_pairs / output_pairs` — the multi-edge collapse factor.
+    pub fn combine_ratio(&self) -> f64 {
+        self.input_pairs as f64 / self.output_pairs.max(1) as f64
+    }
+}
+
+/// Packs an ordered pair of node ids into one `u64` key (`hi` in the upper
+/// 32 bits). Keys compare like `(hi, lo)` tuples.
+#[inline]
+pub fn pack(hi: NodeId, lo: NodeId) -> u64 {
+    ((hi as u64) << 32) | lo as u64
+}
+
+/// Inverse of [`pack`].
+#[inline]
+pub fn unpack(key: u64) -> (NodeId, NodeId) {
+    ((key >> 32) as NodeId, key as NodeId)
+}
+
+/// The scatter grid size: a pure function of the input length (never the
+/// pool size), so every layout downstream is thread-count independent.
+fn grid(n: usize) -> usize {
+    (n / 4096).clamp(1, 256).next_power_of_two()
+}
+
+/// A pre-sized buffer of uninitialized slots.
+fn uninit_vec<T>(len: usize) -> Vec<MaybeUninit<T>> {
+    let mut v = Vec::with_capacity(len);
+    // SAFETY: `MaybeUninit` needs no initialization, so exposing `len`
+    // uninitialized slots is sound.
+    unsafe { v.set_len(len) };
+    v
+}
+
+/// Converts a fully written `MaybeUninit` buffer into an initialized one.
+///
+/// # Safety
+/// Every slot must have been written.
+unsafe fn assume_init_vec<T>(v: Vec<MaybeUninit<T>>) -> Vec<T> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    // SAFETY: `MaybeUninit<T>` and `T` have identical layout, and the caller
+    // guarantees every slot is initialized.
+    unsafe { Vec::from_raw_parts(v.as_mut_ptr().cast(), v.len(), v.capacity()) }
+}
+
+/// Splits `buf` into consecutive mutable cells of the given lengths,
+/// dropping whatever lies beyond their sum.
+fn split_cells<'a, T>(mut buf: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
+    let mut cells = Vec::with_capacity(lens.len());
+    for &len in lens {
+        let (cell, rest) = buf.split_at_mut(len);
+        cells.push(cell);
+        buf = rest;
+    }
+    cells
+}
+
+/// Raw pointer wrapper that is `Send`/`Sync` when the pointee is `Send`;
+/// every call site must guarantee the disjointness of its writes.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+/// Write cursor over one cell of a [`par_emit`] buffer.
+pub struct Emit<'a, T> {
+    cell: &'a mut [MaybeUninit<T>],
+    pos: usize,
+}
+
+impl<T: Copy> Emit<'_, T> {
+    /// Appends one item. Panics (index out of bounds) if the caller emits
+    /// more items than its `count` closure declared.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        self.cell[self.pos].write(item);
+        self.pos += 1;
+    }
+}
+
+/// Two-pass parallel emission into one flat pre-sized buffer.
+///
+/// `count(i)` declares how many items source index `i` will emit; a prefix
+/// sum over per-chunk totals pre-sizes the output, and `fill(i, emit)` then
+/// writes exactly that many via [`Emit::push`]. The output order is source
+/// order — a pure function of the input, independent of the pool size.
+///
+/// # Panics
+/// Panics if `fill` emits a different number of items than `count` declared.
+pub fn par_emit<T, C, F>(items: usize, count: C, fill: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    C: Fn(usize) -> usize + Sync,
+    F: Fn(usize, &mut Emit<'_, T>) + Sync,
+{
+    let chunk_size = items.div_ceil(grid(items)).max(1);
+    let num_chunks = items.div_ceil(chunk_size);
+    let lens: Vec<usize> = (0..num_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(items);
+            (lo..hi).map(&count).sum()
+        })
+        .collect();
+    let total: usize = lens.iter().sum();
+    let mut flat = uninit_vec::<T>(total);
+    let cells: Vec<(usize, &mut [MaybeUninit<T>])> =
+        (0..num_chunks).zip(split_cells(&mut flat, &lens)).collect();
+    cells.into_par_iter().for_each(|(c, cell)| {
+        let expected = cell.len();
+        let mut emit = Emit { cell, pos: 0 };
+        let lo = c * chunk_size;
+        let hi = (lo + chunk_size).min(items);
+        for i in lo..hi {
+            fill(i, &mut emit);
+        }
+        assert_eq!(
+            emit.pos, expected,
+            "par_emit: fill wrote fewer items than count declared"
+        );
+    });
+    // SAFETY: each cell asserted full coverage of its slots above.
+    unsafe { assume_init_vec(flat) }
+}
+
+/// Collapses equal-key runs of a key-sorted slice in place, left-to-right,
+/// returning the compacted length.
+fn fold_runs<T, K, F>(items: &mut [T], key_of: &K, fold: &F) -> usize
+where
+    T: Copy,
+    K: Fn(&T) -> u64,
+    F: Fn(T, T) -> T,
+{
+    let mut w = 0usize;
+    for r in 0..items.len() {
+        let item = items[r];
+        if w > 0 && key_of(&items[w - 1]) == key_of(&item) {
+            items[w - 1] = fold(items[w - 1], item);
+        } else {
+            items[w] = item;
+            w += 1;
+        }
+    }
+    w
+}
+
+/// The kernel: collapses `items` to one entry per key under `fold`,
+/// returning them **sorted by key** together with the run's stats.
+///
+/// `key_space` is an exclusive upper bound on every key (it sizes the
+/// bucket ranges). `fold(acc, next)` must be commutative and associative —
+/// dedup, min, and sum, the three folds every contraction path uses — so
+/// that the result is a pure function of the input *multiset*: the bucket
+/// sort is unstable and equal-key items reach the fold in a deterministic
+/// but not input order. Outputs are byte-identical at any pool size either
+/// way (chunk grid, bucket ranges, and sort depend only on the input).
+pub fn combine_by_key<T, K, F>(
+    mut items: Vec<T>,
+    key_space: u64,
+    key_of: K,
+    fold: F,
+) -> (Vec<T>, CombineStats)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let input_pairs = items.len();
+    if input_pairs <= SMALL || key_space == 0 {
+        items.sort_unstable_by_key(&key_of);
+        let len = fold_runs(&mut items, &key_of, &fold);
+        items.truncate(len);
+        let stats = CombineStats {
+            input_pairs,
+            output_pairs: items.len(),
+            buckets: 1,
+        };
+        return (items, stats);
+    }
+
+    // Buckets are contiguous key ranges: the smallest shift that squeezes
+    // the key space into at most `grid(n)` ranges. Range buckets (unlike
+    // hash buckets) make the per-bucket sorted outputs concatenate into a
+    // globally key-sorted buffer.
+    let max_key = key_space - 1;
+    let want = grid(input_pairs) as u64;
+    let mut shift = 0u32;
+    while (max_key >> shift) >= want {
+        shift += 1;
+    }
+    let buckets = ((max_key >> shift) + 1) as usize;
+    let chunk_size = input_pairs.div_ceil(grid(input_pairs)).max(1);
+
+    // Pass 1 — count: per-chunk histograms of destination buckets.
+    let counts: Vec<Vec<u32>> = items
+        .par_chunks(chunk_size)
+        .map(|chunk| {
+            let mut histogram = vec![0u32; buckets];
+            for item in chunk {
+                histogram[(key_of(item) >> shift) as usize] += 1;
+            }
+            histogram
+        })
+        .collect();
+
+    // Exclusive prefix sums, bucket-major: bucket `b` starts after all
+    // smaller buckets; within `b`, chunk `c` starts after smaller chunks.
+    let mut starts = vec![0usize; buckets + 1];
+    for b in 0..buckets {
+        let total: usize = counts.iter().map(|h| h[b] as usize).sum();
+        starts[b + 1] = starts[b] + total;
+    }
+    let mut cell_offsets: Vec<Vec<usize>> = Vec::with_capacity(counts.len());
+    let mut cursor = starts[..buckets].to_vec();
+    for histogram in &counts {
+        cell_offsets.push(cursor.clone());
+        for (c, h) in cursor.iter_mut().zip(histogram) {
+            *c += *h as usize;
+        }
+    }
+
+    // Pass 2 — scatter into one flat pre-sized buffer.
+    let mut flat = uninit_vec::<T>(input_pairs);
+    let dst = SyncPtr(flat.as_mut_ptr());
+    let dst = &dst;
+    let key_of_ref = &key_of;
+    cell_offsets
+        .par_iter_mut()
+        .zip(items.par_chunks(chunk_size))
+        .for_each(move |(cursor, chunk)| {
+            for &item in chunk {
+                let b = (key_of_ref(&item) >> shift) as usize;
+                let slot = cursor[b];
+                cursor[b] += 1;
+                // SAFETY: the prefix sums assign every (chunk, bucket) cell
+                // a disjoint range of `flat`, and `slot` walks that range
+                // once; each index is written by exactly one worker, once.
+                unsafe { (*dst.0.add(slot)).write(item) };
+            }
+        });
+    drop(items);
+    // SAFETY: the histograms cover every input item, so the cell ranges
+    // tile `flat` exactly and every slot was written.
+    let mut flat: Vec<T> = unsafe { assume_init_vec(flat) };
+
+    // Pass 3 — per-bucket sort + fold, in parallel across buckets. Bucket
+    // contents are in global input order here, and the sort is
+    // deterministic, so the fold order (hence the output) is a pure
+    // function of the input even for non-commutative folds.
+    let lens: Vec<usize> = (1..=buckets).map(|b| starts[b] - starts[b - 1]).collect();
+    let out_lens: Vec<usize> = split_cells(&mut flat, &lens)
+        .into_par_iter()
+        .map(|bucket| {
+            bucket.sort_unstable_by_key(key_of_ref);
+            fold_runs(bucket, key_of_ref, &fold)
+        })
+        .collect();
+
+    // Pass 4 — compact the folded bucket prefixes into the final buffer.
+    let total: usize = out_lens.iter().sum();
+    let mut out = uninit_vec::<T>(total);
+    let copies: Vec<(&[T], &mut [MaybeUninit<T>])> = (0..buckets)
+        .map(|b| &flat[starts[b]..starts[b] + out_lens[b]])
+        .zip(split_cells(&mut out, &out_lens))
+        .collect();
+    copies.into_par_iter().for_each(|(src, dst)| {
+        for (slot, item) in dst.iter_mut().zip(src) {
+            slot.write(*item);
+        }
+    });
+    // SAFETY: each destination cell has exactly its source prefix's length.
+    let out = unsafe { assume_init_vec(out) };
+
+    let stats = CombineStats {
+        input_pairs,
+        output_pairs: total,
+        buckets,
+    };
+    (out, stats)
+}
+
+/// Builds a [`CsrGraph`] on `n` nodes from packed directed arcs
+/// ([`pack`]`(u, v)`), deduplicating in parallel.
+///
+/// The arc multiset must be symmetric (every `(u, v)` accompanied by
+/// `(v, u)`) and free of self-loops and out-of-range endpoints — the
+/// callers all guarantee this by construction, and debug builds re-verify
+/// via the CSR invariant check. Prefer [`csr_from_half_arcs`] when the
+/// caller can emit each undirected edge once: combining half the records
+/// costs half the sort.
+pub fn csr_from_arcs(n: usize, arcs: Vec<u64>) -> (CsrGraph, CombineStats) {
+    if n == 0 {
+        debug_assert!(arcs.is_empty());
+        return (CsrGraph::empty(0), CombineStats::default());
+    }
+    let key_space = (n as u64) << 32;
+    let (arcs, stats) = combine_by_key(arcs, key_space, |&a| a, |first, _dup| first);
+    let (offsets, targets) = csr_parts_from_sorted(n, &arcs, |&a| a);
+    (CsrGraph::from_parts(offsets, targets), stats)
+}
+
+/// Combines normalized half-records (key = [`pack`]`(a, b)` with `a ≤ b`
+/// node/cluster ids, one record per undirected edge occurrence) and then
+/// symmetrizes the combined entries into the full sorted arc set.
+///
+/// This is the cheap route from an edge multiset to CSR input: the
+/// expensive combine runs over `m` half-records instead of `2m` arcs, and
+/// only the (much smaller) unique entry set is mirrored and re-sorted.
+/// Self-loop keys (`a == b`) must already be filtered out. The returned
+/// stats describe the *first* combine: undirected records in, unique
+/// undirected edges out.
+pub(crate) fn combine_symmetrize<T, K, R, F>(
+    n: usize,
+    half: Vec<T>,
+    key_of: K,
+    rekey: R,
+    fold: F,
+) -> (Vec<T>, CombineStats)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u64 + Sync,
+    R: Fn(T) -> T + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let key_space = (n as u64) << 32;
+    let (entries, stats) = combine_by_key(half, key_space, &key_of, fold);
+    // Mirror each unique entry; the second combine never folds (all keys
+    // distinct) — it only key-sorts the doubled set.
+    let mirrored = par_emit(
+        entries.len(),
+        |_| 2,
+        |i, emit| {
+            emit.push(entries[i]);
+            emit.push(rekey(entries[i]));
+        },
+    );
+    let (arcs, _) = combine_by_key(mirrored, key_space, &key_of, |first, _dup| first);
+    (arcs, stats)
+}
+
+/// [`csr_from_arcs`] for half-arcs that are **already unique** (any order):
+/// skips the dedup combine and only mirrors + key-sorts. Used when the
+/// caller's own combine produced the normalized edge set.
+pub(crate) fn csr_from_unique_half_arcs(n: usize, half_arcs: Vec<u64>) -> CsrGraph {
+    if n == 0 {
+        debug_assert!(half_arcs.is_empty());
+        return CsrGraph::empty(0);
+    }
+    let mirrored = par_emit(
+        half_arcs.len(),
+        |_| 2,
+        |i, emit| {
+            let (hi, lo) = unpack(half_arcs[i]);
+            emit.push(half_arcs[i]);
+            emit.push(pack(lo, hi));
+        },
+    );
+    // The combine never folds (all keys distinct) — it only key-sorts.
+    let (arcs, _) = combine_by_key(mirrored, (n as u64) << 32, |&a| a, |first, _dup| first);
+    let (offsets, targets) = csr_parts_from_sorted(n, &arcs, |&a| a);
+    CsrGraph::from_parts(offsets, targets)
+}
+
+/// [`csr_from_arcs`] for half-arc input: one normalized [`pack`]`(min(u,v),
+/// max(u,v))` key per undirected edge occurrence (duplicates fine,
+/// self-loops must be pre-filtered).
+pub fn csr_from_half_arcs(n: usize, half_arcs: Vec<u64>) -> (CsrGraph, CombineStats) {
+    if n == 0 {
+        debug_assert!(half_arcs.is_empty());
+        return (CsrGraph::empty(0), CombineStats::default());
+    }
+    let (arcs, stats) = combine_symmetrize(
+        n,
+        half_arcs,
+        |&a| a,
+        |a| {
+            let (hi, lo) = unpack(a);
+            pack(lo, hi)
+        },
+        |first, _dup| first,
+    );
+    let (offsets, targets) = csr_parts_from_sorted(n, &arcs, |&a| a);
+    (CsrGraph::from_parts(offsets, targets), stats)
+}
+
+/// Reads CSR offsets and targets straight off a key-sorted combined buffer
+/// (source id = upper 32 bits of the key). Shared by the unweighted and
+/// weighted quotient builds.
+pub(crate) fn csr_parts_from_sorted<T>(
+    n: usize,
+    items: &[T],
+    key_of: impl Fn(&T) -> u64 + Sync,
+) -> (Vec<usize>, Vec<NodeId>)
+where
+    T: Send + Sync,
+{
+    let offsets: Vec<usize> = if items.len() <= SMALL || n <= SMALL {
+        let mut offsets = vec![0usize; n + 1];
+        for item in items {
+            offsets[(key_of(item) >> 32) as usize + 1] += 1;
+        }
+        for u in 0..n {
+            offsets[u + 1] += offsets[u];
+        }
+        offsets
+    } else {
+        // The buffer is sorted by key, so node `u`'s adjacency starts at
+        // the first key with source ≥ u: a binary search per boundary,
+        // parallel over the n + 1 boundaries.
+        (0..n + 1)
+            .into_par_iter()
+            .map(|u| items.partition_point(|item| (key_of(item) >> 32) < u as u64))
+            .collect()
+    };
+    let targets: Vec<NodeId> = if items.len() <= SMALL {
+        items.iter().map(|item| key_of(item) as NodeId).collect()
+    } else {
+        items
+            .par_iter()
+            .map(|item| key_of(item) as NodeId)
+            .collect()
+    };
+    (offsets, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Sequential oracle: sort + fold, the canonical form by definition.
+    fn oracle<T: Copy>(
+        mut items: Vec<T>,
+        key_of: impl Fn(&T) -> u64,
+        fold: impl Fn(T, T) -> T,
+    ) -> Vec<T> {
+        items.sort_by_key(&key_of);
+        let len = fold_runs(&mut items, &key_of, &fold);
+        items.truncate(len);
+        items
+    }
+
+    fn random_pairs(n: usize, key_space: u64, seed: u64) -> Vec<(u64, u64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (rng.gen::<u64>() % key_space, rng.gen::<u64>() % 1000))
+            .collect()
+    }
+
+    #[test]
+    fn min_combine_matches_oracle_across_sizes() {
+        // Straddle the sequential cutoff to exercise both paths.
+        for n in [0usize, 1, 100, SMALL, SMALL + 1, 4 * SMALL] {
+            let key_space = 1u64 << 40;
+            let input = random_pairs(n, key_space, 7);
+            let expected = oracle(
+                input.clone(),
+                |p| p.0,
+                |a, b: (u64, u64)| (a.0, a.1.min(b.1)),
+            );
+            let (got, stats) =
+                combine_by_key(input, key_space, |p| p.0, |a, b| (a.0, a.1.min(b.1)));
+            assert_eq!(got, expected, "diverged at n = {n}");
+            assert_eq!(stats.input_pairs, n);
+            assert_eq!(stats.output_pairs, got.len());
+        }
+    }
+
+    #[test]
+    fn sum_combine_with_heavy_skew() {
+        // All keys in one bucket-range corner: the degenerate layout the
+        // power-law quotient produces.
+        let n = 3 * SMALL;
+        let input: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 17, 1)).collect();
+        let (got, stats) = combine_by_key(input, 1 << 40, |p| p.0, |a, b| (a.0, a.1 + b.1));
+        assert_eq!(got.len(), 17);
+        let total: u64 = got.iter().map(|p| p.1).sum();
+        assert_eq!(total, n as u64);
+        assert_eq!(stats.output_pairs, 17);
+        assert!((stats.combine_ratio() - n as f64 / 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_is_key_sorted_and_unique() {
+        let input = random_pairs(2 * SMALL, 1000, 3);
+        let (got, _) = combine_by_key(input, 1000, |p| p.0, |a, _| a);
+        for w in got.windows(2) {
+            assert!(w[0].0 < w[1].0, "output not strictly key-sorted");
+        }
+    }
+
+    #[test]
+    fn dedup_fold_keeps_one_of_identical_records() {
+        // The dedup client (csr_from_arcs) folds records whose payload IS
+        // the key, so any survivor is the right one; both size regimes must
+        // agree with the oracle exactly.
+        for n in [500usize, 2 * SMALL] {
+            let input: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 97, i % 97)).collect();
+            let (got, _) = combine_by_key(input, 97, |p| p.0, |first, _| first);
+            let expected: Vec<(u64, u64)> = (0..97.min(n as u64)).map(|k| (k, k)).collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn par_emit_source_order_and_counts() {
+        // Each source i emits i % 3 copies of itself.
+        let out = par_emit(
+            10_000,
+            |i| i % 3,
+            |i, e| {
+                for _ in 0..i % 3 {
+                    e.push(i as u64);
+                }
+            },
+        );
+        let expected: Vec<u64> = (0..10_000usize)
+            .flat_map(|i| std::iter::repeat_n(i as u64, i % 3))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer items than count declared")]
+    fn par_emit_underfill_panics() {
+        let _ = par_emit(100, |_| 2, |i, e| e.push(i as u64));
+    }
+
+    #[test]
+    fn csr_from_arcs_builds_valid_graph() {
+        // A mesh-ish arc soup with duplicates.
+        let mut arcs = Vec::new();
+        for u in 0u32..50 {
+            for v in 0u32..50 {
+                if u != v && (u + v) % 3 == 0 {
+                    arcs.push(pack(u, v));
+                    arcs.push(pack(v, u));
+                    arcs.push(pack(u, v)); // duplicate
+                }
+            }
+        }
+        let (g, stats) = csr_from_arcs(50, arcs);
+        assert!(g.check_invariants().is_ok());
+        assert_eq!(stats.output_pairs, g.num_arcs());
+        assert!(stats.input_pairs > stats.output_pairs);
+    }
+
+    #[test]
+    fn csr_from_arcs_empty() {
+        let (g, stats) = csr_from_arcs(0, Vec::new());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(stats.output_pairs, 0);
+        let (g, _) = csr_from_arcs(5, Vec::new());
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (a, b) in [(0, 0), (7, 3), (NodeId::MAX - 1, 12), (1, NodeId::MAX)] {
+            assert_eq!(unpack(pack(a, b)), (a, b));
+        }
+        assert!(pack(1, 0) > pack(0, NodeId::MAX));
+    }
+
+    #[test]
+    fn pool_size_invariance() {
+        let input = random_pairs(4 * SMALL, 1 << 36, 11);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool construction cannot fail");
+            pool.install(|| {
+                combine_by_key(input.clone(), 1 << 36, |p| p.0, |a, b| (a.0, a.1.min(b.1))).0
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -9,8 +9,76 @@
 //! [`induced_subgraph`] extracts the subgraph on an arbitrary node subset
 //! with an id mapping — used by per-component analyses.
 
+use crate::combine::{self, pack, unpack};
 use crate::{CsrGraph, GraphBuilder, NodeId, INVALID_NODE};
-use std::collections::HashMap;
+
+/// Cut-edge multiplicities of a contraction: a sorted flat map from an
+/// unordered cluster pair `{a, b}` (stored as `a < b`) to the number of
+/// original edges crossing it.
+///
+/// This replaced the seed-era `HashMap<(NodeId, NodeId), u64>`: the entries
+/// come out of the combine kernel already sorted and unique, so lookups are
+/// a binary search and iteration order is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeCounts {
+    /// `(a, b, count)` with `a < b`, sorted by `(a, b)`.
+    entries: Vec<(NodeId, NodeId, u64)>,
+}
+
+impl EdgeCounts {
+    /// Wraps entries that are already sorted by `(a, b)` with `a < b`.
+    pub(crate) fn from_sorted_entries(entries: Vec<(NodeId, NodeId, u64)>) -> Self {
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        debug_assert!(entries.iter().all(|&(a, b, _)| a < b));
+        EdgeCounts { entries }
+    }
+
+    /// Multiplicity of the cluster pair `{a, b}` (order-insensitive);
+    /// `None` if no edge crosses it.
+    pub fn get(&self, a: NodeId, b: NodeId) -> Option<u64> {
+        let key = (a.min(b), a.max(b));
+        self.entries
+            .binary_search_by_key(&key, |&(x, y, _)| (x, y))
+            .ok()
+            .map(|i| self.entries[i].2)
+    }
+
+    /// Number of distinct cluster pairs with at least one crossing edge.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no edge crosses any cluster pair.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `((a, b), count)` in ascending `(a, b)` order.
+    pub fn iter(&self) -> impl Iterator<Item = ((NodeId, NodeId), u64)> + '_ {
+        self.entries.iter().map(|&(a, b, m)| ((a, b), m))
+    }
+
+    /// Iterates the multiplicities in ascending `(a, b)` order.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|&(_, _, m)| m)
+    }
+}
+
+impl std::ops::Index<&(NodeId, NodeId)> for EdgeCounts {
+    type Output = u64;
+
+    /// Multiplicity of `{a, b}`; panics if no edge crosses the pair
+    /// (mirroring `HashMap` indexing).
+    fn index(&self, &(a, b): &(NodeId, NodeId)) -> &u64 {
+        let key = (a.min(b), a.max(b));
+        match self.entries.binary_search_by_key(&key, |&(x, y, _)| (x, y)) {
+            Ok(i) => &self.entries[i].2,
+            Err(_) => panic!("no cut edge between clusters {a} and {b}"),
+        }
+    }
+}
 
 /// Result of [`contract`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,14 +87,18 @@ pub struct Contraction {
     pub graph: CsrGraph,
     /// `node_weight[c]` = number of original nodes with label `c`.
     pub node_weight: Vec<u64>,
-    /// `edge_multiplicity[(a, b)]` (with `a < b`) = number of original
-    /// edges crossing labels `a` and `b`.
-    pub edge_multiplicity: HashMap<(NodeId, NodeId), u64>,
+    /// Multiplicity of each crossing cluster pair: the number of original
+    /// edges between labels `a` and `b`.
+    pub edge_multiplicity: EdgeCounts,
     /// Original edges inside a single label (the coalesced mass).
     pub internal_edges: u64,
 }
 
 /// Coalesces each label class of `g` into a single node.
+///
+/// Multiplicities are a sum-combine over the cut edges on the
+/// [`crate::combine`] kernel; the contracted CSR is built from the combined
+/// entries directly.
 ///
 /// # Panics
 /// Panics if `labels.len() != g.num_nodes()` or a label is `≥ num_labels`.
@@ -37,24 +109,44 @@ pub fn contract(g: &CsrGraph, labels: &[NodeId], num_labels: usize) -> Contracti
         assert!((l as usize) < num_labels, "label {l} out of range");
         node_weight[l as usize] += 1;
     }
-    let mut edge_multiplicity: HashMap<(NodeId, NodeId), u64> = HashMap::new();
-    let mut internal_edges = 0u64;
-    for (u, v) in g.edges() {
-        let (a, b) = (labels[u as usize], labels[v as usize]);
-        if a == b {
-            internal_edges += 1;
-        } else {
-            *edge_multiplicity.entry((a.min(b), a.max(b))).or_insert(0) += 1;
-        }
-    }
-    let mut builder = GraphBuilder::with_capacity(num_labels, edge_multiplicity.len());
-    for &(a, b) in edge_multiplicity.keys() {
-        builder.add_edge(a, b);
-    }
+    // One record per undirected cut edge (scanning each edge once via the
+    // upper adjacency tails), keyed by the normalized cluster pair;
+    // sum-combine.
+    let cut: Vec<(u64, u64)> = combine::par_emit(
+        g.num_nodes(),
+        |u| crate::quotient::cut_degree(g, labels, u),
+        |u, emit| {
+            let a = labels[u];
+            for &v in g.upper_neighbors(u as NodeId) {
+                let b = labels[v as usize];
+                if b != a {
+                    emit.push((pack(a.min(b), a.max(b)), 1));
+                }
+            }
+        },
+    );
+    // Self-loop-free CSR: every undirected edge is either cut or internal.
+    let internal_edges = (g.num_edges() - cut.len()) as u64;
+    let (combined, _) = combine::combine_by_key(
+        cut,
+        (num_labels as u64) << 32,
+        |c| c.0,
+        |a, b| (a.0, a.1 + b.1),
+    );
+    // The combined keys are exactly the contracted graph's normalized edge
+    // set — already unique, ready for the kernel's mirror + CSR build.
+    let half: Vec<u64> = combined.iter().map(|&(key, _)| key).collect();
+    let entries: Vec<(NodeId, NodeId, u64)> = combined
+        .into_iter()
+        .map(|(key, m)| {
+            let (a, b) = unpack(key);
+            (a, b, m)
+        })
+        .collect();
     Contraction {
-        graph: builder.build(),
+        graph: combine::csr_from_unique_half_arcs(num_labels, half),
         node_weight,
-        edge_multiplicity,
+        edge_multiplicity: EdgeCounts::from_sorted_entries(entries),
         internal_edges,
     }
 }
@@ -169,6 +261,27 @@ mod tests {
         // Total mass is conserved.
         let cut: u64 = c.edge_multiplicity.values().sum();
         assert_eq!(cut + c.internal_edges, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn contract_matches_naive_reference() {
+        let g = generators::preferential_attachment(800, 5, 3);
+        let labels: Vec<NodeId> = (0..g.num_nodes() as NodeId).map(|v| v % 23).collect();
+        let c = contract(&g, &labels, 23);
+        let naive = crate::naive::contract(&g, &labels, 23);
+        assert_eq!(c, naive);
+    }
+
+    #[test]
+    fn edge_counts_lookup() {
+        let g = generators::complete(4);
+        let c = contract(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(c.edge_multiplicity.get(0, 1), Some(4));
+        assert_eq!(c.edge_multiplicity.get(1, 0), Some(4)); // order-insensitive
+        assert_eq!(c.edge_multiplicity.get(0, 0), None);
+        assert_eq!(c.edge_multiplicity.len(), 1);
+        assert!(!c.edge_multiplicity.is_empty());
+        assert_eq!(c.edge_multiplicity.iter().next(), Some(((0, 1), 4)));
     }
 
     #[test]

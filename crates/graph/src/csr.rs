@@ -72,6 +72,15 @@ impl CsrGraph {
         &self.targets[self.offsets[u]..self.offsets[u + 1]]
     }
 
+    /// The `v > u` tail of `u`'s sorted adjacency. Each undirected edge
+    /// appears in exactly one tail, so scanning all tails visits every edge
+    /// once — the backbone of the contraction kernel's half-arc emission.
+    #[inline]
+    pub fn upper_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let nbrs = self.neighbors(u);
+        &nbrs[nbrs.partition_point(|&v| v <= u)..]
+    }
+
     /// Whether the undirected edge `{u, v}` is present.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.neighbors(u).binary_search(&v).is_ok()

@@ -20,6 +20,11 @@
 //! * **quotient graphs** of a clustering, both unweighted and weighted as
 //!   defined in §4 of the paper, together with a small weighted-graph type
 //!   and Dijkstra/APSP for computing quotient diameters;
+//! * a deterministic parallel [`combine`] kernel (count → prefix → scatter →
+//!   per-bucket sort/fold) underlying every contraction path — quotient and
+//!   contracted-graph builds, `GraphBuilder::build`, the spanner's CSR
+//!   assembly — with the seed-era sequential versions retained in [`naive`]
+//!   as test oracles;
 //! * edge-list and binary **I/O** and basic **statistics**.
 //!
 //! All randomized routines take an explicit `u64` seed so that every
@@ -36,6 +41,7 @@
 //! ```
 
 pub mod builder;
+pub mod combine;
 pub mod components;
 pub mod contract;
 pub mod csr;
@@ -43,6 +49,7 @@ pub mod diameter;
 pub mod frontier;
 pub mod generators;
 pub mod io;
+pub mod naive;
 pub mod quotient;
 pub mod spanner;
 pub mod stats;
@@ -61,6 +68,7 @@ pub const INVALID_NODE: NodeId = NodeId::MAX;
 pub const INFINITE_DIST: u32 = u32::MAX;
 
 pub use builder::GraphBuilder;
+pub use combine::CombineStats;
 pub use csr::CsrGraph;
 pub use frontier::FrontierStrategy;
 pub use weighted::WeightedGraph;
@@ -68,9 +76,12 @@ pub use weighted::WeightedGraph;
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::builder::GraphBuilder;
+    pub use crate::combine::CombineStats;
     pub use crate::csr::CsrGraph;
     pub use crate::frontier::FrontierStrategy;
     pub use crate::weighted::WeightedGraph;
-    pub use crate::{components, diameter, frontier, generators, io, quotient, stats, traversal};
+    pub use crate::{
+        combine, components, diameter, frontier, generators, io, quotient, stats, traversal,
+    };
     pub use crate::{NodeId, INFINITE_DIST, INVALID_NODE};
 }

@@ -7,9 +7,56 @@
 //! and stays inside the two clusters: since every node knows its BFS-tree
 //! distance to its own center, this is
 //! `min over cut edges (x, y) of dist(x) + 1 + dist(y)`.
+//!
+//! Both constructions run on the [`crate::combine`] kernel: one normalized
+//! record per undirected cut edge is emitted in parallel (two-pass count +
+//! scatter over the upper adjacency tails), dedup'd (unweighted) or
+//! min-combined (weighted), and only the unique survivors are mirrored into
+//! the quotient's CSR arrays. The seed-era sequential `HashMap` passes
+//! survive as [`crate::naive`] oracles.
 
-use crate::{CsrGraph, GraphBuilder, NodeId, WeightedGraph};
-use std::collections::HashMap;
+use crate::combine::{self, pack, CombineStats};
+use crate::{CsrGraph, NodeId, WeightedGraph};
+use rayon::prelude::*;
+
+fn assert_labels(g: &CsrGraph, labels: &[NodeId], num_clusters: usize) {
+    assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
+    if !labels.par_iter().all(|&c| (c as usize) < num_clusters) {
+        let bad = labels.iter().find(|&&c| (c as usize) >= num_clusters);
+        panic!("cluster label out of range: {bad:?} >= {num_clusters}");
+    }
+}
+
+/// Number of cut edges owned by node `u` (its `v > u` adjacency tail, so
+/// each undirected cut edge is counted at exactly one endpoint) — the
+/// shared count pass of every contraction emit in this module and
+/// [`crate::contract`].
+pub(crate) fn cut_degree(g: &CsrGraph, labels: &[NodeId], u: usize) -> usize {
+    let cu = labels[u];
+    g.upper_neighbors(u as NodeId)
+        .iter()
+        .filter(|&&v| labels[v as usize] != cu)
+        .count()
+}
+
+/// Emits one normalized `(min(cluster), max(cluster))` key per undirected
+/// cut edge of `g` under `labels`, node-parallel with a two-pass count +
+/// scatter.
+fn cut_half_arcs(g: &CsrGraph, labels: &[NodeId]) -> Vec<u64> {
+    combine::par_emit(
+        g.num_nodes(),
+        |u| cut_degree(g, labels, u),
+        |u, emit| {
+            let cu = labels[u];
+            for &v in g.upper_neighbors(u as NodeId) {
+                let cv = labels[v as usize];
+                if cv != cu {
+                    emit.push(pack(cu.min(cv), cu.max(cv)));
+                }
+            }
+        },
+    )
+}
 
 /// Builds the unweighted quotient graph of `g` under `labels`.
 ///
@@ -18,19 +65,18 @@ use std::collections::HashMap;
 /// # Panics
 /// Panics if `labels.len() != g.num_nodes()` or a label is out of range.
 pub fn quotient(g: &CsrGraph, labels: &[NodeId], num_clusters: usize) -> CsrGraph {
-    assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
-    let mut b = GraphBuilder::new(num_clusters);
-    for (u, v) in g.edges() {
-        let (cu, cv) = (labels[u as usize], labels[v as usize]);
-        assert!(
-            (cu as usize) < num_clusters && (cv as usize) < num_clusters,
-            "cluster label out of range"
-        );
-        if cu != cv {
-            b.add_edge(cu, cv);
-        }
-    }
-    b.build()
+    quotient_with_stats(g, labels, num_clusters).0
+}
+
+/// [`quotient`], also returning the combine kernel's ledger (undirected cut
+/// edges in, unique quotient edges out).
+pub fn quotient_with_stats(
+    g: &CsrGraph,
+    labels: &[NodeId],
+    num_clusters: usize,
+) -> (CsrGraph, CombineStats) {
+    assert_labels(g, labels, num_clusters);
+    combine::csr_from_half_arcs(num_clusters, cut_half_arcs(g, labels))
 }
 
 /// Builds the weighted quotient graph of `g` under `labels`, where
@@ -47,39 +93,71 @@ pub fn weighted_quotient(
     dist_to_center: &[u32],
     num_clusters: usize,
 ) -> WeightedGraph {
-    assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
+    weighted_quotient_with_stats(g, labels, dist_to_center, num_clusters).0
+}
+
+/// [`weighted_quotient`], also returning the combine kernel's ledger.
+pub fn weighted_quotient_with_stats(
+    g: &CsrGraph,
+    labels: &[NodeId],
+    dist_to_center: &[u32],
+    num_clusters: usize,
+) -> (WeightedGraph, CombineStats) {
+    assert_labels(g, labels, num_clusters);
     assert_eq!(
         dist_to_center.len(),
         g.num_nodes(),
         "distance array size mismatch"
     );
-    let mut best: HashMap<(NodeId, NodeId), u64> = HashMap::new();
-    for (u, v) in g.edges() {
-        let (cu, cv) = (labels[u as usize], labels[v as usize]);
-        assert!(
-            (cu as usize) < num_clusters && (cv as usize) < num_clusters,
-            "cluster label out of range"
-        );
-        if cu == cv {
-            continue;
-        }
-        let key = (cu.min(cv), cu.max(cv));
-        let w = dist_to_center[u as usize] as u64 + 1 + dist_to_center[v as usize] as u64;
-        best.entry(key)
-            .and_modify(|cur| *cur = (*cur).min(w))
-            .or_insert(w);
-    }
-    let edges: Vec<(NodeId, NodeId, u64)> = best.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-    WeightedGraph::from_edges(num_clusters, &edges)
+    // One weighted record per undirected cut edge, the packed cluster-pair
+    // key in the high 64 bits and the connecting-path weight in the low 64
+    // (weights fit: `dist` values are `u32`). Packing makes the min-fold a
+    // plain integer `min` — for equal keys, the smaller `u128` is exactly
+    // the record with the smaller weight — and the sort/scatter move one
+    // contiguous word.
+    let half: Vec<u128> = combine::par_emit(
+        g.num_nodes(),
+        |u| cut_degree(g, labels, u),
+        |u, emit| {
+            let cu = labels[u];
+            let du = dist_to_center[u] as u64;
+            for &v in g.upper_neighbors(u as NodeId) {
+                let cv = labels[v as usize];
+                if cv != cu {
+                    let key = pack(cu.min(cv), cu.max(cv));
+                    let w = du + 1 + dist_to_center[v as usize] as u64;
+                    emit.push(((key as u128) << 64) | w as u128);
+                }
+            }
+        },
+    );
+    let (arcs, stats) = combine::combine_symmetrize(
+        num_clusters,
+        half,
+        |a| (a >> 64) as u64,
+        |rec| {
+            let (hi, lo) = combine::unpack((rec >> 64) as u64);
+            ((pack(lo, hi) as u128) << 64) | (rec & u128::from(u64::MAX))
+        },
+        |a, b| a.min(b),
+    );
+    let (offsets, targets) =
+        combine::csr_parts_from_sorted(num_clusters, &arcs, |&a| (a >> 64) as u64);
+    let weights: Vec<u64> = arcs.iter().map(|&rec| rec as u64).collect();
+    (
+        WeightedGraph::from_csr_parts(offsets, targets, weights),
+        stats,
+    )
 }
 
 /// Number of edges of `g` crossing between distinct clusters (each counted
 /// once). This is the paper's `m_C` *before* multi-edge collapsing; the
 /// quotient's own `num_edges` gives the collapsed count.
 pub fn cut_size(g: &CsrGraph, labels: &[NodeId]) -> usize {
-    g.edges()
-        .filter(|&(u, v)| labels[u as usize] != labels[v as usize])
-        .count()
+    (0..g.num_nodes())
+        .into_par_iter()
+        .map(|u| cut_degree(g, labels, u))
+        .sum()
 }
 
 #[cfg(test)]
@@ -114,9 +192,13 @@ mod tests {
             .add_edges([(0, 1), (2, 3), (0, 2), (1, 3)])
             .build();
         let labels = vec![0, 0, 1, 1];
-        let q = quotient(&g, &labels, 2);
+        let (q, stats) = quotient_with_stats(&g, &labels, 2);
         assert_eq!(q.num_edges(), 1);
         assert_eq!(cut_size(&g, &labels), 2);
+        // 2 undirected cut edges combined down to 1 quotient edge.
+        assert_eq!(stats.input_pairs, 2);
+        assert_eq!(stats.output_pairs, 1);
+        assert!((stats.combine_ratio() - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -169,5 +251,34 @@ mod tests {
         assert_eq!(q.num_nodes(), 1);
         assert_eq!(q.num_edges(), 0);
         assert_eq!(cut_size(&g, &labels), 0);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_workloads() {
+        for g in [
+            generators::mesh(20, 17),
+            generators::preferential_attachment(600, 4, 9),
+            generators::road_network(14, 14, 0.4, 5),
+        ] {
+            let k = 12usize;
+            let labels: Vec<NodeId> = (0..g.num_nodes()).map(|v| (v % k) as NodeId).collect();
+            let dist: Vec<u32> = (0..g.num_nodes()).map(|v| (v % 5) as u32).collect();
+            assert_eq!(
+                quotient(&g, &labels, k),
+                crate::naive::quotient(&g, &labels, k)
+            );
+            assert_eq!(
+                weighted_quotient(&g, &labels, &dist, k),
+                crate::naive::weighted_quotient(&g, &labels, &dist, k)
+            );
+            assert_eq!(cut_size(&g, &labels), crate::naive::cut_size(&g, &labels));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_out_of_range_panics() {
+        let g = generators::path(3);
+        quotient(&g, &[0, 1, 2], 2);
     }
 }

@@ -11,9 +11,61 @@
 //! `O(k·n^{1+1/k})` edges in which every distance stretches by at most
 //! `2k - 1`.
 
-use crate::{CsrGraph, GraphBuilder, NodeId, INVALID_NODE};
+use crate::combine::{self, pack};
+use crate::{CsrGraph, NodeId, INVALID_NODE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Epoch-tagged dense per-cluster scratch for the phase loops: O(1) lookups
+/// keyed by cluster id without clearing between vertices (bumping `epoch`
+/// invalidates every slot at once). Replaces the seed-era
+/// `lightest_per_cluster` linear scans and phase-2 `kept.contains` — both
+/// were O(deg × distinct clusters) per vertex, quadratic on hubs.
+struct ClusterScratch {
+    epoch: u64,
+    mark: Vec<u64>,
+    via: Vec<NodeId>,
+    /// Clusters touched in the current epoch, in first-encounter order.
+    touched: Vec<NodeId>,
+}
+
+impl ClusterScratch {
+    fn new(n: usize) -> Self {
+        ClusterScratch {
+            epoch: 0,
+            mark: vec![0; n],
+            via: vec![INVALID_NODE; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh vertex: every slot becomes stale, `touched` resets.
+    fn next_epoch(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Records neighbour `u` (of the current vertex) in cluster `c`;
+    /// returns `true` on the first encounter of `c` this epoch. Neighbours
+    /// arrive in ascending order, so the first recorded `via` is the
+    /// lightest edge into `c` under the lexicographic perturbation.
+    fn record(&mut self, c: NodeId, u: NodeId) -> bool {
+        let ci = c as usize;
+        if self.mark[ci] == self.epoch {
+            return false;
+        }
+        self.mark[ci] = self.epoch;
+        self.via[ci] = u;
+        self.touched.push(c);
+        true
+    }
+
+    /// The recorded lightest edge into cluster `c` this epoch.
+    fn via(&self, c: NodeId) -> NodeId {
+        debug_assert_eq!(self.mark[c as usize], self.epoch);
+        self.via[c as usize]
+    }
+}
 
 /// Result of [`baswana_sen`]: the spanner and its guarantee.
 #[derive(Clone, Debug)]
@@ -46,6 +98,10 @@ pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
     let mut cluster: Vec<NodeId> = (0..n as NodeId).collect();
     // Vertices still participating.
     let mut alive: Vec<bool> = vec![true; n];
+    let mut scratch = ClusterScratch::new(n);
+    // Expected size O(k·n^{1+1/k}); pre-reserve the dominant linear term so
+    // the phase loops append without reallocating in the common case.
+    spanner.reserve(2 * n);
 
     for _phase in 1..k {
         // Sample current cluster centers.
@@ -66,10 +122,12 @@ pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
             }
             // Baswana–Sen needs distinct, consistently ordered edge
             // weights; for the unweighted case we perturb lexicographically
-            // by neighbour id. Find, per neighbouring cluster, the lightest
-            // incident edge, and the overall lightest edge into a *sampled*
-            // cluster.
-            let mut lightest_per_cluster: Vec<(NodeId, NodeId)> = Vec::new(); // (cluster, via)
+            // by neighbour id. Record, per neighbouring cluster, the
+            // lightest incident edge (the *first* seen, since adjacency is
+            // sorted ascending), and the overall lightest edge into a
+            // *sampled* cluster — all O(1) per neighbour in the dense
+            // scratch.
+            scratch.next_epoch();
             let mut lightest_sampled: Option<NodeId> = None; // via-neighbour
             for &u in g.neighbors(v) {
                 if !alive[u as usize] {
@@ -79,15 +137,8 @@ pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
                 if cu == cluster[vi] {
                     continue;
                 }
-                match lightest_per_cluster.iter_mut().find(|(c, _)| *c == cu) {
-                    Some((_, via)) => {
-                        if u < *via {
-                            *via = u;
-                        }
-                    }
-                    None => lightest_per_cluster.push((cu, u)),
-                }
-                if sampled[cu as usize] && lightest_sampled.is_none_or(|best| u < best) {
+                scratch.record(cu, u);
+                if sampled[cu as usize] && lightest_sampled.is_none() {
                     lightest_sampled = Some(u);
                 }
             }
@@ -98,7 +149,9 @@ pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
                     // if strictly lighter than e_s (the BS pruning rule).
                     spanner.push((v, e_s));
                     next_cluster[vi] = cluster[e_s as usize];
-                    for &(c, via) in &lightest_per_cluster {
+                    for i in 0..scratch.touched.len() {
+                        let c = scratch.touched[i];
+                        let via = scratch.via(c);
                         if c != cluster[e_s as usize] && via < e_s {
                             spanner.push((v, via));
                         }
@@ -107,8 +160,8 @@ pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
                 None => {
                     // No sampled neighbour: keep one (lightest) edge per
                     // neighbouring cluster and retire.
-                    for &(_, via) in &lightest_per_cluster {
-                        spanner.push((v, via));
+                    for i in 0..scratch.touched.len() {
+                        spanner.push((v, scratch.via(scratch.touched[i])));
                     }
                     next_cluster[vi] = INVALID_NODE;
                     alive[vi] = false;
@@ -121,13 +174,14 @@ pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
     }
 
     // Phase 2: every surviving vertex keeps one edge to each neighbouring
-    // cluster.
+    // cluster — first-encounter detection through the same dense scratch
+    // instead of the seed-era `kept.contains` linear scan.
     for v in 0..n as NodeId {
         let vi = v as usize;
         if !alive[vi] {
             continue;
         }
-        let mut kept: Vec<NodeId> = Vec::new();
+        scratch.next_epoch();
         for &w in g.neighbors(v) {
             if !alive[w as usize] {
                 continue;
@@ -136,19 +190,28 @@ pub fn baswana_sen(g: &CsrGraph, k: usize, seed: u64) -> Spanner {
             if cw == cluster[vi] {
                 continue;
             }
-            if !kept.contains(&cw) {
-                kept.push(cw);
+            if scratch.record(cw, w) {
                 spanner.push((v, w));
             }
         }
     }
 
-    let mut b = GraphBuilder::with_capacity(n, spanner.len());
-    for (u, v) in spanner {
-        b.add_edge(u, v);
-    }
+    // Final CSR build on the combine kernel: symmetrize the kept edges
+    // with a two-pass scatter (no self-loops by construction — every kept
+    // edge joins `v` to a neighbour), then dedup straight into the CSR
+    // arrays. Kept edges are duplicate-light, so the direct route beats
+    // the half-arc combine-then-mirror one.
+    let arcs = combine::par_emit(
+        spanner.len(),
+        |_| 2,
+        |i, emit| {
+            let (u, v) = spanner[i];
+            emit.push(pack(u, v));
+            emit.push(pack(v, u));
+        },
+    );
     Spanner {
-        graph: b.build(),
+        graph: combine::csr_from_arcs(n, arcs).0,
         stretch: (2 * k - 1) as u32,
     }
 }

@@ -65,6 +65,26 @@ impl WeightedGraph {
         }
     }
 
+    /// Builds directly from CSR arrays (sorted, deduplicated, symmetric,
+    /// self-loop-free) — the zero-copy exit of the combine kernel's weighted
+    /// quotient path. Debug builds re-verify the invariants.
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        weights: Vec<u64>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        let g = WeightedGraph {
+            offsets,
+            targets,
+            weights,
+        };
+        debug_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        g
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {

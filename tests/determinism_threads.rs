@@ -61,9 +61,60 @@ fn diameter_is_byte_identical_across_pool_sizes() {
     for (name, g) in workload_graphs() {
         let (one, four) = on_both_pools(|| {
             let a = approximate_diameter(&g, &DiameterParams::new(8, 42));
-            (a.lower_bound, a.estimate(), a.radius, a.quotient_nodes)
+            (
+                a.lower_bound,
+                a.estimate(),
+                a.radius,
+                a.quotient_nodes,
+                // The contraction-kernel ledger is part of the contract too:
+                // cut-arc and combined-arc counts must not depend on pool
+                // size.
+                a.quotient_kernel,
+            )
         });
         assert_eq!(one, four, "approximate_diameter() diverged on {name}");
+    }
+}
+
+/// The contraction kernel end-to-end: quotient, weighted quotient, and
+/// contraction of a real decomposition are byte-identical across pool
+/// sizes — CSR arrays, weights, multiplicities, and the kernel ledger.
+#[test]
+fn quotient_is_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        let labels_and_dist = {
+            let r = cluster(&g, &ClusterParams::new(8, 42));
+            (
+                r.clustering.assignment.clone(),
+                r.clustering.dist_to_center.clone(),
+                r.clustering.num_clusters(),
+            )
+        };
+        let (labels, dist, k) = &labels_and_dist;
+        let (one, four) = on_both_pools(|| {
+            let (q, qs) = pardec::graph::quotient::quotient_with_stats(&g, labels, *k);
+            let (wq, ws) =
+                pardec::graph::quotient::weighted_quotient_with_stats(&g, labels, dist, *k);
+            let c = pardec::graph::contract::contract(&g, labels, *k);
+            let cut = pardec::graph::quotient::cut_size(&g, labels);
+            (q, qs, wq, ws, c, cut)
+        });
+        assert_eq!(one, four, "quotient machinery diverged on {name}");
+    }
+}
+
+/// Baswana–Sen spanner construction (sequential phase loops + kernel CSR
+/// build) is byte-identical across pool sizes.
+#[test]
+fn spanner_is_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        for k in [2usize, 3] {
+            let (one, four) = on_both_pools(|| {
+                let s = pardec::graph::spanner::baswana_sen(&g, k, 42);
+                (s.graph, s.stretch)
+            });
+            assert_eq!(one, four, "baswana_sen(k={k}) diverged on {name}");
+        }
     }
 }
 
