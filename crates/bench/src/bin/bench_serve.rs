@@ -1,0 +1,316 @@
+//! **serve load generator** — drives the `pardec serve` wire protocol and
+//! reports throughput and tail latency as JSONL (one object per
+//! thread-count × operation leg), ready for CI artifact upload.
+//!
+//! Two modes:
+//!
+//! * **In-process** (default): builds a session over a mesh, starts the
+//!   [`pardec_core::wire`] server twice — worker pools of 1 and 4 threads —
+//!   runs the identical query schedule against both, and asserts every
+//!   response is byte-identical across pool sizes (the workspace-wide
+//!   determinism contract, now over TCP). Also asserts the `NEAREST` batch
+//!   ledger reports exactly one frontier wave for the whole batch.
+//! * **External** (`--addr HOST:PORT`): aims the same schedule at an
+//!   already-running `pardec serve` daemon; `--shutdown` sends `OP_SHUTDOWN`
+//!   afterwards. This is the CI smoke leg.
+//!
+//! Options: `--smoke` (tiny workload, seconds not minutes), `--batches N`,
+//! `--batch N` (queries per request frame), `--seed S`.
+
+use pardec_bench::timed;
+use pardec_core::{wire, Session, SessionParams};
+use pardec_graph::{generators, FrontierStrategy, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    addr: Option<String>,
+    shutdown: bool,
+    smoke: bool,
+    batches: usize,
+    batch: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        addr: None,
+        shutdown: false,
+        smoke: false,
+        batches: 0,
+        batch: 256,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = Some(it.next().expect("--addr expects HOST:PORT")),
+            "--shutdown" => cfg.shutdown = true,
+            "--smoke" => cfg.smoke = true,
+            "--batches" => {
+                cfg.batches = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--batches expects a count")
+            }
+            "--batch" => {
+                cfg.batch = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--batch expects a count")
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed expects an integer")
+            }
+            other => panic!("unknown option {other} (see the module docs)"),
+        }
+    }
+    if cfg.batches == 0 {
+        cfg.batches = if cfg.smoke { 8 } else { 64 };
+    }
+    cfg
+}
+
+/// One pre-encoded request frame plus the op label it reports under.
+struct Shot {
+    op: &'static str,
+    frame: Vec<u8>,
+}
+
+/// The deterministic query schedule: `batches` frames per operation, each
+/// carrying `batch` queries drawn from a seeded RNG. Identical inputs across
+/// server configurations by construction.
+fn schedule(n: usize, cfg: &Config) -> Vec<Shot> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let node = |rng: &mut StdRng| rng.gen_range(0..n) as NodeId;
+    let mut shots = Vec::new();
+    for _ in 0..cfg.batches {
+        let pairs: Vec<(NodeId, NodeId)> = (0..cfg.batch)
+            .map(|_| (node(&mut rng), node(&mut rng)))
+            .collect();
+        shots.push(Shot {
+            op: "dist",
+            frame: wire::encode_request(&wire::Request::Distance(pairs)),
+        });
+        let nodes: Vec<NodeId> = (0..cfg.batch).map(|_| node(&mut rng)).collect();
+        shots.push(Shot {
+            op: "cluster_of",
+            frame: wire::encode_request(&wire::Request::ClusterOf(nodes)),
+        });
+        let nodes: Vec<NodeId> = (0..cfg.batch).map(|_| node(&mut rng)).collect();
+        shots.push(Shot {
+            op: "ecc",
+            frame: wire::encode_request(&wire::Request::Eccentricity(nodes)),
+        });
+        // The tentpole shape: a whole batch of nearest-source queries
+        // answered by ONE multi-source frontier wave.
+        let sources: Vec<NodeId> = (0..16).map(|_| node(&mut rng)).collect();
+        let probes: Vec<NodeId> = (0..cfg.batch).map(|_| node(&mut rng)).collect();
+        shots.push(Shot {
+            op: "nearest",
+            frame: wire::encode_request(&wire::Request::Nearest { sources, probes }),
+        });
+    }
+    shots
+}
+
+/// Per-operation latency samples plus every raw response body, in schedule
+/// order (the identity assertion compares these across pool sizes).
+struct RunResult {
+    /// `(op, micros)` per request, in schedule order.
+    lat: Vec<(&'static str, u64)>,
+    bodies: Vec<Vec<u8>>,
+    secs: f64,
+}
+
+fn run_schedule(addr: &str, shots: &[Shot]) -> io::Result<RunResult> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut lat = Vec::with_capacity(shots.len());
+    let mut bodies = Vec::with_capacity(shots.len());
+    let start = Instant::now();
+    for shot in shots {
+        let t = Instant::now();
+        wire::write_frame(&mut stream, &shot.frame)?;
+        let body = wire::read_frame(&mut stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        lat.push((shot.op, t.elapsed().as_micros() as u64));
+        let resp = wire::decode_response(&body)?;
+        if resp.status != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "server error {} on {}: {}",
+                    resp.status,
+                    shot.op,
+                    resp.error_message().unwrap_or_default()
+                ),
+            ));
+        }
+        if shot.op == "nearest" && resp.waves != 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("NEAREST batch ran {} waves, expected 1", resp.waves),
+            ));
+        }
+        bodies.push(body);
+    }
+    Ok(RunResult {
+        lat,
+        bodies,
+        secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Emits one JSONL record per operation for a finished run.
+fn report(threads: &str, batch: usize, result: &RunResult) {
+    let total: usize = result.lat.len();
+    let qps = total as f64 / result.secs;
+    println!(
+        "{{\"bench\":\"serve\",\"threads\":\"{threads}\",\"batch\":{batch},\
+         \"requests\":{total},\"secs\":{:.4},\"qps\":{qps:.1}}}",
+        result.secs
+    );
+    for op in ["dist", "cluster_of", "ecc", "nearest"] {
+        let mut samples: Vec<u64> = result
+            .lat
+            .iter()
+            .filter(|(o, _)| *o == op)
+            .map(|&(_, us)| us)
+            .collect();
+        if samples.is_empty() {
+            continue;
+        }
+        samples.sort_unstable();
+        println!(
+            "{{\"bench\":\"serve\",\"threads\":\"{threads}\",\"op\":\"{op}\",\
+             \"batch\":{batch},\"requests\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            samples.len(),
+            percentile(&samples, 50.0),
+            percentile(&samples, 99.0),
+        );
+    }
+}
+
+fn send_shutdown(addr: &str) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    wire::roundtrip(&mut stream, &wire::Request::Shutdown)?;
+    Ok(())
+}
+
+fn main() {
+    let cfg = parse_args();
+
+    if let Some(addr) = cfg.addr.clone() {
+        // External mode: the daemon already exists; probe it, run, report.
+        let mut stream = TcpStream::connect(&addr).expect("cannot connect");
+        let info = wire::roundtrip(&mut stream, &wire::Request::Info).expect("INFO failed");
+        let mut body: &[u8] = &info.body;
+        let n = {
+            use bytes_shim_read::read_u64;
+            read_u64(&mut body) as usize
+        };
+        drop(stream);
+        eprintln!("[bench_serve] external daemon at {addr}: {n} nodes");
+        let shots = schedule(n, &cfg);
+        let result = run_schedule(&addr, &shots).expect("run failed");
+        report("external", cfg.batch, &result);
+        if cfg.shutdown {
+            send_shutdown(&addr).expect("shutdown failed");
+            eprintln!("[bench_serve] daemon shut down");
+        }
+        return;
+    }
+
+    // In-process mode: one resident session, two pool sizes, identical bytes.
+    let (rows, cols, tau) = if cfg.smoke {
+        (48, 48, 6)
+    } else {
+        (240, 240, 12)
+    };
+    let g = generators::mesh(rows, cols);
+    let n = g.num_nodes();
+    eprintln!("[bench_serve] mesh {rows}x{cols}: {n} nodes, building session (tau {tau})");
+    let (session, build_secs) = timed(|| {
+        Session::build(
+            g,
+            &SessionParams::new(tau, cfg.seed).with_frontier(FrontierStrategy::TopDown),
+        )
+    });
+    eprintln!(
+        "[bench_serve] session: {} clusters, oracle {} words, built in {:.2}s",
+        session.clustering().num_clusters(),
+        session.oracle().map_or(0, |o| o.memory_words()),
+        build_secs
+    );
+    let session = Arc::new(session);
+    let shots = schedule(n, &cfg);
+
+    let mut runs: Vec<(usize, RunResult)> = Vec::new();
+    for threads in [1usize, 4] {
+        let pool = Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool"),
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let handle = wire::serve(listener, session.clone(), pool, 2).expect("serve");
+        let addr = handle.addr().to_string();
+        let result = run_schedule(&addr, &shots).expect("run failed");
+        report(&threads.to_string(), cfg.batch, &result);
+        send_shutdown(&addr).expect("shutdown failed");
+        handle.join();
+        runs.push((threads, result));
+    }
+
+    // Determinism contract: byte-identical responses at every pool size.
+    let (base_threads, base) = &runs[0];
+    for (threads, run) in &runs[1..] {
+        assert_eq!(
+            base.bodies.len(),
+            run.bodies.len(),
+            "response count differs between {base_threads} and {threads} threads"
+        );
+        for (i, (a, b)) in base.bodies.iter().zip(&run.bodies).enumerate() {
+            assert_eq!(
+                a, b,
+                "response {i} ({}) differs between {base_threads} and {threads} threads",
+                shots[i].op
+            );
+        }
+    }
+    println!(
+        "{{\"bench\":\"serve\",\"identity\":\"ok\",\"configs\":[{}],\"responses\":{}}}",
+        runs.iter()
+            .map(|(t, _)| t.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        runs[0].1.bodies.len()
+    );
+}
+
+/// Tiny local reader for the INFO body (avoids depending on the bytes shim
+/// from a binary that only needs one field).
+mod bytes_shim_read {
+    pub fn read_u64(buf: &mut &[u8]) -> u64 {
+        let (head, rest) = buf.split_at(8);
+        *buf = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}

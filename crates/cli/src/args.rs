@@ -1,5 +1,5 @@
-//! Tiny dependency-free argument parser: one positional command followed by
-//! `--key value` / `--flag` pairs.
+//! Tiny dependency-free argument parser: a positional command, an optional
+//! positional subcommand, then `--key value` / `--flag` pairs.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -7,8 +7,12 @@ use std::fmt;
 /// Parsed command line.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Args {
-    /// The positional subcommand (first non-flag token).
+    /// The positional command (first non-flag token).
     pub command: String,
+    /// The positional subcommand (second non-flag token; empty when absent).
+    /// The command tree reads this: `clust cluster2`, `dist approx`,
+    /// `mr bfs`, `snapshot save`, …
+    pub sub: String,
     /// `--key value` options, in declaration order-independent form.
     options: BTreeMap<String, String>,
     /// Bare `--flag` switches.
@@ -77,6 +81,9 @@ const VALUED_KEYS: &[&str] = &[
     "frontier",
     "partitions",
     "source",
+    "snapshot",
+    "addr",
+    "accept-threads",
 ];
 
 impl Args {
@@ -98,6 +105,8 @@ impl Args {
                 }
             } else if out.command.is_empty() {
                 out.command = tok;
+            } else if out.sub.is_empty() {
+                out.sub = tok;
             } else {
                 return Err(ArgError::UnknownOptions(vec![tok]));
             }
@@ -251,9 +260,22 @@ mod tests {
         ));
         assert!(matches!(a.req("graph"), Err(ArgError::MissingOption(_))));
         assert!(matches!(
-            parse("stats extra-positional"),
+            parse("stats one-extra two-extra"),
             Err(ArgError::UnknownOptions(_))
         ));
+    }
+
+    #[test]
+    fn subcommand_positional() {
+        let a = parse("clust cluster2 --graph g --tau 4").unwrap();
+        assert_eq!(a.command, "clust");
+        assert_eq!(a.sub, "cluster2");
+        assert_eq!(a.req("graph").unwrap(), "g");
+        let a = parse("stats --graph g").unwrap();
+        assert_eq!(a.sub, "");
+        // Options may interleave with the positionals.
+        let a = parse("snapshot --graph g save --out s.pdec").unwrap();
+        assert_eq!((a.command.as_str(), a.sub.as_str()), ("snapshot", "save"));
     }
 
     #[test]

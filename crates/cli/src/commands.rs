@@ -1,12 +1,16 @@
 //! Subcommand implementations for the `pardec` binary.
+//!
+//! Commands form a tree (`pardec <command> [<sub>] [options]`); the old
+//! flat spellings (`cluster`, `diameter`, `mr-cluster`, …) remain as
+//! deprecated aliases that print a pointer to the new form on stderr and
+//! then behave identically. The `clust`/`dist`/`oracle` handlers and the
+//! `serve` daemon all run on the same [`pardec_core::Session`] entry point.
 
 use crate::args::Args;
-use pardec_core::diameter::Decomposition;
 use pardec_core::hadi::mr_hadi_with;
 use pardec_core::mr_impl::{mr_bfs_with, mr_cluster_with};
 use pardec_core::{
-    approximate_diameter, cluster, cluster2, gonzalez, kcenter, mpx_with_frontier, ClusterParams,
-    Clustering, DiameterParams, DistanceOracle, HadiParams,
+    gonzalez, kcenter, ClusterParams, Clustering, HadiParams, Session, SessionAlgo, SessionParams,
 };
 use pardec_graph::{
     diameter, generators, io, stats, CsrGraph, FrontierStrategy, NodeId, INFINITE_DIST,
@@ -18,7 +22,7 @@ use std::io::{BufReader, BufWriter, Write};
 
 /// Usage banner shared by `help` and error paths.
 pub const USAGE: &str = "\
-usage: pardec <command> [options]
+usage: pardec <command> [<sub>] [options]
 
 global options:
   --threads N     size of the worker pool used by all parallel phases
@@ -30,20 +34,30 @@ global options:
                   (default: PARDEC_PARTITIONS, else 4 x pool threads;
                   shapes the communication ledger, never results)
 
-commands:
-  generate    --family mesh|torus|road|social|ba|gnm|lollipop [--rows R --cols C]
-              [--nodes N --attach M --window F --extra-prob P --degree D --edges M]
-              [--seed S] --out FILE
-  stats       --graph FILE
-  cluster     --graph FILE [--tau T] [--algorithm cluster|cluster2|mpx]
-              [--beta B] [--seed S] [--labels FILE]
-  diameter    --graph FILE [--tau T] [--seed S] [--exact] [--cluster2]
-  kcenter     --graph FILE --k K [--seed S] [--gonzalez]
-  oracle      --graph FILE [--tau T] [--seed S] --queries u:v[,u:v...]
-  mr-cluster  --graph FILE [--tau T] [--seed S] [--partitions P]
-  mr-bfs      --graph FILE [--source V] [--partitions P]
-  mr-hadi     --graph FILE [--trials T] [--seed S] [--partitions P]
-  help";
+command tree:
+  generate        --family mesh|torus|road|social|ba|gnm|lollipop
+                  [--rows R --cols C] [--nodes N --attach M --window F
+                  --extra-prob P --degree D --edges M] [--seed S] --out FILE
+  stats           --graph FILE
+  clust <algo>    algo: cluster | cluster2 | mpx
+                  --graph FILE [--tau T] [--beta B] [--seed S] [--labels FILE]
+  dist <algo>     algo: approx | exact
+                  --graph FILE [--tau T] [--seed S] [--exact] [--cluster2]
+  kcenter         --graph FILE --k K [--seed S] [--gonzalez]
+  oracle          --graph FILE [--tau T] [--seed S] --queries u:v[,u:v...]
+  mr <algo>       algo: cluster | bfs | hadi
+                  --graph FILE [--tau T] [--source V] [--trials T] [--seed S]
+                  [--partitions P]
+  snapshot save   --graph FILE --out FILE [--tau T] [--algorithm A] [--beta B]
+                  [--seed S] [--no-oracle]   (writes a PDEC2 session snapshot)
+  snapshot info   --snapshot FILE            (prints the section table)
+  serve           --snapshot FILE [--addr HOST:PORT] [--accept-threads N]
+                  [--checked]                (resident query daemon)
+  help
+
+deprecated aliases (still work, print a pointer to the new spelling):
+  cluster -> clust <algo>      diameter -> dist approx
+  mr-cluster -> mr cluster     mr-bfs -> mr bfs     mr-hadi -> mr hadi";
 
 /// Builds the global thread pool from `--threads` before any command runs.
 ///
@@ -62,20 +76,60 @@ pub fn init_thread_pool(args: &Args) -> CmdResult {
         .map_err(|e| format!("--threads {n}: {e}").into())
 }
 
-type CmdResult = Result<(), Box<dyn Error>>;
+pub(crate) type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Prints the deprecation pointer for an old flat spelling (stderr, so
+/// stdout stays byte-identical to the new command).
+fn deprecated(old: &str, new: &str) {
+    eprintln!("note: `pardec {old}` is deprecated; use `pardec {new}`");
+}
 
 /// Routes a parsed command line to its implementation.
 pub fn dispatch(args: &Args) -> CmdResult {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "stats" => cmd_stats(args),
-        "cluster" => cmd_cluster(args),
-        "diameter" => cmd_diameter(args),
+        "clust" => cmd_clust(args, args.sub.as_str()),
+        "dist" => match args.sub.as_str() {
+            "approx" | "" => cmd_dist_approx(args),
+            "exact" => cmd_dist_exact(args),
+            other => Err(format!("unknown dist algorithm {other:?} (approx | exact)").into()),
+        },
         "kcenter" => cmd_kcenter(args),
         "oracle" => cmd_oracle(args),
-        "mr-cluster" => cmd_mr_cluster(args),
-        "mr-bfs" => cmd_mr_bfs(args),
-        "mr-hadi" => cmd_mr_hadi(args),
+        "mr" => match args.sub.as_str() {
+            "cluster" => cmd_mr_cluster(args),
+            "bfs" => cmd_mr_bfs(args),
+            "hadi" => cmd_mr_hadi(args),
+            other => Err(format!("unknown mr algorithm {other:?} (cluster | bfs | hadi)").into()),
+        },
+        "snapshot" => match args.sub.as_str() {
+            "save" => cmd_snapshot_save(args),
+            "info" => cmd_snapshot_info(args),
+            other => Err(format!("unknown snapshot action {other:?} (save | info)").into()),
+        },
+        "serve" => crate::serve::cmd_serve(args),
+        // Deprecated flat aliases — same behavior, pointer on stderr.
+        "cluster" => {
+            deprecated("cluster", "clust <algo>");
+            cmd_clust(args, args.opt("algorithm", "cluster"))
+        }
+        "diameter" => {
+            deprecated("diameter", "dist approx");
+            cmd_dist_approx(args)
+        }
+        "mr-cluster" => {
+            deprecated("mr-cluster", "mr cluster");
+            cmd_mr_cluster(args)
+        }
+        "mr-bfs" => {
+            deprecated("mr-bfs", "mr bfs");
+            cmd_mr_bfs(args)
+        }
+        "mr-hadi" => {
+            deprecated("mr-hadi", "mr hadi");
+            cmd_mr_hadi(args)
+        }
         "help" => {
             println!("{USAGE}");
             Ok(())
@@ -95,10 +149,35 @@ fn seed(args: &Args) -> Result<u64, crate::args::ArgError> {
 }
 
 /// `--frontier` when given, else the `PARDEC_FRONTIER`/top-down default.
-fn frontier(args: &Args) -> Result<FrontierStrategy, crate::args::ArgError> {
+pub(crate) fn frontier(args: &Args) -> Result<FrontierStrategy, crate::args::ArgError> {
     Ok(args
         .frontier()?
         .unwrap_or_else(FrontierStrategy::default_from_env))
+}
+
+/// Shared [`SessionParams`] wiring for every Session-backed command:
+/// `--tau` (per-command default), `--seed`, `--beta`, `--frontier`, and the
+/// algorithm name (from the subcommand or `--algorithm`).
+fn session_params(
+    args: &Args,
+    algo: &str,
+    default_tau: usize,
+    build_oracle: bool,
+) -> Result<SessionParams, Box<dyn Error>> {
+    let tau: usize = args.opt_parse("tau", default_tau, "a positive integer")?;
+    let algo = match algo {
+        "" | "cluster" => SessionAlgo::Cluster,
+        "cluster2" => SessionAlgo::Cluster2,
+        "mpx" => SessionAlgo::Mpx {
+            beta: args.opt_parse("beta", 0.2, "a positive rate")?,
+        },
+        other => return Err(format!("unknown algorithm {other:?}").into()),
+    };
+    let mut params = SessionParams::new(tau, seed(args)?)
+        .with_algo(algo)
+        .with_frontier(frontier(args)?);
+    params.build_oracle = build_oracle;
+    Ok(params)
 }
 
 fn cmd_generate(args: &Args) -> CmdResult {
@@ -183,23 +262,13 @@ fn write_labels(path: &str, clustering: &Clustering) -> CmdResult {
     Ok(())
 }
 
-fn cmd_cluster(args: &Args) -> CmdResult {
+fn cmd_clust(args: &Args, algo: &str) -> CmdResult {
     let g = load_graph(args)?;
-    let s = seed(args)?;
-    let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
-    let strategy = frontier(args)?;
-    let algorithm = args.opt("algorithm", "cluster");
-    let clustering = match algorithm {
-        "cluster" => cluster(&g, &ClusterParams::new(tau, s).with_frontier(strategy)).clustering,
-        "cluster2" => cluster2(&g, &ClusterParams::new(tau, s).with_frontier(strategy)).clustering,
-        "mpx" => {
-            let beta: f64 = args.opt_parse("beta", 0.2, "a positive rate")?;
-            mpx_with_frontier(&g, beta, s, strategy).clustering
-        }
-        other => return Err(format!("unknown algorithm {other:?}").into()),
-    };
+    let params = session_params(args, algo, 4, false)?;
+    let session = Session::build(g, &params);
+    let clustering = session.clustering();
     let sizes = clustering.cluster_sizes();
-    println!("algorithm     {algorithm}");
+    println!("algorithm     {}", params.algo.name());
     println!("clusters      {}", clustering.num_clusters());
     println!("max radius    {}", clustering.max_radius());
     println!(
@@ -207,7 +276,7 @@ fn cmd_cluster(args: &Args) -> CmdResult {
         sizes.iter().min().unwrap_or(&0),
         sizes.iter().max().unwrap_or(&0)
     );
-    let (q, kernel) = clustering.quotient_with_stats(&g);
+    let (q, kernel) = clustering.quotient_with_stats(session.graph());
     println!(
         "quotient      {} nodes / {} edges",
         q.num_nodes(),
@@ -220,21 +289,28 @@ fn cmd_cluster(args: &Args) -> CmdResult {
         kernel.combine_ratio()
     );
     if let Ok(path) = args.req("labels") {
-        write_labels(path, &clustering)?;
+        write_labels(path, clustering)?;
         println!("labels        written to {path}");
     }
     Ok(())
 }
 
-fn cmd_diameter(args: &Args) -> CmdResult {
+fn cmd_dist_exact(args: &Args) -> CmdResult {
     let g = load_graph(args)?;
-    let s = seed(args)?;
-    let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
-    let mut params = DiameterParams::new(tau, s).with_frontier(frontier(args)?);
-    if args.has_flag("cluster2") {
-        params.decomposition = Decomposition::Cluster2;
-    }
-    let a = approximate_diameter(&g, &params);
+    println!("exact diameter       {}", diameter::exact_diameter(&g));
+    Ok(())
+}
+
+fn cmd_dist_approx(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let algo = if args.has_flag("cluster2") {
+        "cluster2"
+    } else {
+        "cluster"
+    };
+    let params = session_params(args, algo, 4, false)?;
+    let session = Session::build(g, &params);
+    let a = session.diameter(true, None);
     println!("lower bound (Δ_C)    {}", a.lower_bound);
     println!("upper bound (Δ″)     {}", a.estimate());
     println!("cluster radius       {}", a.radius);
@@ -255,12 +331,89 @@ fn cmd_diameter(args: &Args) -> CmdResult {
     );
     println!("growth steps         {}", a.growth_steps);
     if args.has_flag("exact") {
-        let exact = diameter::exact_diameter(&g);
+        let exact = diameter::exact_diameter(session.graph());
         println!("exact diameter       {exact}");
         println!(
             "approximation ratio  {:.3}",
             a.estimate() as f64 / exact.max(1) as f64
         );
+    }
+    Ok(())
+}
+
+fn cmd_snapshot_save(args: &Args) -> CmdResult {
+    let g = load_graph(args)?;
+    let build_oracle = !args.has_flag("no-oracle");
+    let params = session_params(args, args.opt("algorithm", "cluster"), 4, build_oracle)?;
+    let session = Session::build(g, &params);
+    let out = args.req("out")?;
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    session.save(&mut w)?;
+    w.flush()?;
+    println!(
+        "wrote {}: {} nodes / {} edges, {} clusters (radius {}){}",
+        out,
+        session.graph().num_nodes(),
+        session.graph().num_edges(),
+        session.clustering().num_clusters(),
+        session.clustering().max_radius(),
+        if build_oracle { ", oracle" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_snapshot_info(args: &Args) -> CmdResult {
+    use pardec_core::session::{SECTION_CLUSTERING, SECTION_ORACLE};
+    let path = args.req("snapshot")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let snap = io::Snapshot::parse(&bytes)?;
+    println!(
+        "{path}: {} bytes, {} section(s)",
+        bytes.len(),
+        snap.sections().len()
+    );
+    println!("tag    ver       offset        bytes");
+    for e in snap.sections() {
+        let tag: String = e
+            .tag
+            .to_le_bytes()
+            .iter()
+            .map(|&b| if b.is_ascii_graphic() { b as char } else { '.' })
+            .collect();
+        println!(
+            "{tag:<4}  {:>4}  {:>11}  {:>11}",
+            e.version, e.offset, e.len
+        );
+    }
+    if snap.section(SECTION_CLUSTERING).is_some() {
+        // Untrusted file: full checked load (builder graph + validate).
+        let session = Session::load_checked(&bytes, FrontierStrategy::default_from_env())?;
+        println!(
+            "graph         {} nodes / {} edges",
+            session.graph().num_nodes(),
+            session.graph().num_edges()
+        );
+        println!("clusters      {}", session.clustering().num_clusters());
+        println!("max radius    {}", session.clustering().max_radius());
+        println!("growth steps  {}", session.growth_steps());
+        println!(
+            "oracle        {}",
+            match session.oracle() {
+                Some(o) => format!("{} words", o.memory_words()),
+                None => "absent".into(),
+            }
+        );
+    } else {
+        let g = snap.graph_checked()?;
+        println!(
+            "graph         {} nodes / {} edges",
+            g.num_nodes(),
+            g.num_edges()
+        );
+        if snap.section(SECTION_ORACLE).is_some() {
+            println!("oracle        present but unusable without a clustering section");
+        }
     }
     Ok(())
 }
@@ -296,9 +449,9 @@ fn cmd_kcenter(args: &Args) -> CmdResult {
 
 fn cmd_oracle(args: &Args) -> CmdResult {
     let g = load_graph(args)?;
-    let s = seed(args)?;
-    let tau: usize = args.opt_parse("tau", 2, "a positive integer")?;
-    let oracle = DistanceOracle::build(&g, tau, s, Decomposition::Cluster);
+    let params = session_params(args, "cluster", 2, true)?;
+    let session = Session::build(g, &params);
+    let oracle = session.oracle().expect("session built with an oracle");
     println!(
         "oracle: {} clusters, radius {}, {} words",
         oracle.num_clusters(),
@@ -306,17 +459,18 @@ fn cmd_oracle(args: &Args) -> CmdResult {
         oracle.memory_words()
     );
     let queries = args.req("queries")?;
+    let mut pairs = Vec::new();
     for pair in queries.split(',') {
         let Some((u, v)) = pair.split_once(':') else {
             return Err(format!("bad query {pair:?} (expected u:v)").into());
         };
         let u: NodeId = u.trim().parse().map_err(|_| format!("bad node id {u:?}"))?;
         let v: NodeId = v.trim().parse().map_err(|_| format!("bad node id {v:?}"))?;
-        let n = g.num_nodes() as NodeId;
-        if u >= n || v >= n {
-            return Err(format!("query {u}:{v} out of range (n = {n})").into());
-        }
-        let d = oracle.query(u, v);
+        pairs.push((u, v));
+    }
+    // One batched Session call — the same entry point the daemon serves.
+    let (dists, _ledger) = session.distance(&pairs)?;
+    for (&(u, v), d) in pairs.iter().zip(dists) {
         if d == u64::MAX {
             println!("dist({u}, {v}) = unreachable");
         } else {
@@ -483,14 +637,76 @@ mod tests {
         .unwrap();
         for algo in ["cluster", "cluster2", "mpx"] {
             for strategy in ["topdown", "bottomup", "hybrid"] {
+                // New tree spelling and deprecated flat alias both dispatch.
+                dispatch(&args(&format!(
+                    "clust {algo} --graph {path} --tau 1 --frontier {strategy}"
+                )))
+                .unwrap_or_else(|e| panic!("{algo}/{strategy}: {e}"));
                 dispatch(&args(&format!(
                     "cluster --graph {path} --algorithm {algo} --tau 1 --frontier {strategy}"
                 )))
-                .unwrap_or_else(|e| panic!("{algo}/{strategy}: {e}"));
+                .unwrap_or_else(|e| panic!("alias {algo}/{strategy}: {e}"));
             }
         }
+        dispatch(&args(&format!(
+            "dist approx --graph {path} --frontier hybrid"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("dist exact --graph {path}"))).unwrap();
         dispatch(&args(&format!("diameter --graph {path} --frontier hybrid"))).unwrap();
+        assert!(dispatch(&args(&format!("clust nosuch --graph {path}"))).is_err());
+        assert!(dispatch(&args(&format!("dist nosuch --graph {path}"))).is_err());
         assert!(dispatch(&args(&format!("cluster --graph {path} --frontier nosuch"))).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn snapshot_save_info_round_trip() {
+        let graph_path = tmp("snap-src.txt");
+        let snap_path = tmp("snap.pdec");
+        dispatch(&args(&format!(
+            "generate --family mesh --rows 8 --cols 8 --out {graph_path}"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "snapshot save --graph {graph_path} --tau 2 --out {snap_path}"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("snapshot info --snapshot {snap_path}"))).unwrap();
+        // The written file loads as a full session with an oracle.
+        let bytes = std::fs::read(&snap_path).unwrap();
+        let s = Session::load(&bytes, FrontierStrategy::TopDown).unwrap();
+        assert_eq!(s.graph().num_nodes(), 64);
+        assert!(s.oracle().is_some());
+        // --no-oracle drops the ORCL section.
+        dispatch(&args(&format!(
+            "snapshot save --graph {graph_path} --tau 2 --out {snap_path} --no-oracle"
+        )))
+        .unwrap();
+        let bytes = std::fs::read(&snap_path).unwrap();
+        let s = Session::load(&bytes, FrontierStrategy::TopDown).unwrap();
+        assert!(s.oracle().is_none());
+        // Unknown subs error.
+        assert!(dispatch(&args(&format!(
+            "snapshot frobnicate --snapshot {snap_path}"
+        )))
+        .is_err());
+        assert!(dispatch(&args("snapshot info --snapshot /nonexistent")).is_err());
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(snap_path);
+    }
+
+    #[test]
+    fn mr_tree_spellings_dispatch() {
+        let path = tmp("mr-tree.txt");
+        dispatch(&args(&format!(
+            "generate --family mesh --rows 6 --cols 6 --out {path}"
+        )))
+        .unwrap();
+        dispatch(&args(&format!("mr cluster --graph {path} --tau 2"))).unwrap();
+        dispatch(&args(&format!("mr bfs --graph {path}"))).unwrap();
+        dispatch(&args(&format!("mr hadi --graph {path} --trials 4"))).unwrap();
+        assert!(dispatch(&args(&format!("mr nosuch --graph {path}"))).is_err());
         let _ = std::fs::remove_file(path);
     }
 

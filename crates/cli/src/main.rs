@@ -4,27 +4,36 @@
 //! ```text
 //! pardec generate --family mesh --rows 100 --cols 100 --out mesh.txt
 //! pardec stats    --graph mesh.txt
-//! pardec cluster  --graph mesh.txt --tau 8 --algorithm cluster --labels out.tsv
-//! pardec diameter --graph mesh.txt --tau 8 [--exact]
+//! pardec clust cluster2 --graph mesh.txt --tau 8 --labels out.tsv
+//! pardec dist approx    --graph mesh.txt --tau 8 [--exact]
 //! pardec kcenter  --graph mesh.txt --k 20 [--gonzalez]
 //! pardec oracle   --graph mesh.txt --tau 2 --queries 0:57,3:99
-//! pardec mr-cluster --graph mesh.txt --tau 8 --partitions 16
-//! pardec mr-bfs     --graph mesh.txt --source 0
-//! pardec mr-hadi    --graph mesh.txt --trials 32
+//! pardec mr cluster --graph mesh.txt --tau 8 --partitions 16
+//! pardec mr bfs     --graph mesh.txt --source 0
+//! pardec mr hadi    --graph mesh.txt --trials 32
+//! pardec snapshot save --graph mesh.txt --tau 8 --out mesh.pdec
+//! pardec snapshot info --snapshot mesh.pdec
+//! pardec serve    --snapshot mesh.pdec --addr 127.0.0.1:7411
 //! pardec help
 //! ```
 //!
-//! The `mr-*` subcommands run on the MR(M_G, M_L) emulation and print its
+//! The old flat spellings (`cluster`, `diameter`, `mr-cluster`, `mr-bfs`,
+//! `mr-hadi`) still work as deprecated aliases that point at the tree form.
+//!
+//! The `mr` subcommands run on the MR(M_G, M_L) emulation and print its
 //! communication ledger (pre-/post-combine pairs and bytes, peak `M_L`);
 //! `--partitions` (or `PARDEC_PARTITIONS`) sets the shuffle grid without
 //! affecting any result.
 //!
-//! Graphs are SNAP-style text edge lists (`pardec_graph::io`). All commands
-//! are seeded (`--seed`, default 42) and reproducible: results are
-//! byte-identical regardless of `--threads` / `RAYON_NUM_THREADS`.
+//! Graphs are SNAP-style text edge lists (`pardec_graph::io`); `snapshot
+//! save` converts one (plus its decomposition and oracle) into the binary
+//! `PDEC2` form `serve` loads. All commands are seeded (`--seed`, default
+//! 42) and reproducible: results are byte-identical regardless of
+//! `--threads` / `RAYON_NUM_THREADS`.
 
 mod args;
 mod commands;
+mod serve;
 
 use args::Args;
 use std::process::ExitCode;

@@ -1,0 +1,74 @@
+//! `pardec serve` — the resident decomposition-query daemon.
+//!
+//! Loads a `PDEC2` session snapshot (graph + clustering + optional oracle),
+//! binds a TCP listener, and answers batched queries over the length-prefixed
+//! protocol of [`pardec_core::wire`] until a `SHUTDOWN` request arrives.
+//!
+//! ```text
+//! pardec snapshot save --graph mesh.txt --tau 8 --out mesh.pdec
+//! pardec serve --snapshot mesh.pdec --addr 127.0.0.1:7411
+//! ```
+//!
+//! Options:
+//! * `--snapshot FILE` — the session snapshot (required).
+//! * `--addr HOST:PORT` — bind address; `:0` picks an ephemeral port, and the
+//!   daemon always prints the resolved address (default `127.0.0.1:7411`).
+//! * `--accept-threads N` — accept-loop OS threads (default: one per core).
+//! * `--threads N` — worker-pool size for wave execution (default:
+//!   `RAYON_NUM_THREADS`, else all cores). Responses are byte-identical at
+//!   any value.
+//! * `--frontier S` — strategy for `NEAREST` waves (results identical).
+//! * `--checked` — load the snapshot through the checked path (builder
+//!   graph decode + full clustering validation) for files of unknown origin.
+
+use crate::args::Args;
+use crate::commands::{frontier, CmdResult};
+use pardec_core::{wire, Session};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+pub(crate) fn cmd_serve(args: &Args) -> CmdResult {
+    let path = args.req("snapshot")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let strategy = frontier(args)?;
+    let session = if args.has_flag("checked") {
+        Session::load_checked(&bytes, strategy)?
+    } else {
+        Session::load(&bytes, strategy)?
+    };
+    drop(bytes);
+
+    let addr = args.opt("addr", "127.0.0.1:7411");
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+
+    let default_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let accept_threads: usize =
+        args.opt_parse("accept-threads", default_threads, "a positive integer")?;
+    if accept_threads == 0 {
+        return Err("--accept-threads must be positive".into());
+    }
+    let mut builder = rayon::ThreadPoolBuilder::new();
+    if let Some(n) = args.threads()? {
+        builder = builder.num_threads(n);
+    }
+    let pool = Arc::new(builder.build().map_err(|e| e.to_string())?);
+
+    println!(
+        "pardec serve: {} nodes / {} edges, {} clusters, oracle {}",
+        session.graph().num_nodes(),
+        session.graph().num_edges(),
+        session.clustering().num_clusters(),
+        if session.oracle().is_some() {
+            "loaded"
+        } else {
+            "absent"
+        }
+    );
+    let handle = wire::serve(listener, Arc::new(session), pool, accept_threads)?;
+    // The smoke harness greps for this line to learn the resolved port, so
+    // keep its shape stable.
+    println!("pardec serve: listening on {}", handle.addr());
+    handle.join();
+    println!("pardec serve: shut down cleanly");
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! End-to-end daemon test: runs the real `pardec` binary — `generate`,
+//! `snapshot save`, then `serve` on an ephemeral port — and drives the live
+//! TCP socket with the `pardec_core::wire` client, finishing with a clean
+//! `OP_SHUTDOWN`.
+
+use pardec_core::wire::{self, Request};
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+fn pardec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pardec"))
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pardec-serve-e2e-{}-{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn serve_answers_over_tcp_and_shuts_down() {
+    let graph_path = tmp("mesh.txt");
+    let snap_path = tmp("mesh.pdec");
+
+    let status = pardec()
+        .args([
+            "generate",
+            "--family",
+            "mesh",
+            "--rows",
+            "16",
+            "--cols",
+            "16",
+            "--out",
+            &graph_path,
+        ])
+        .status()
+        .expect("spawn generate");
+    assert!(status.success(), "generate failed");
+
+    let status = pardec()
+        .args([
+            "snapshot",
+            "save",
+            "--graph",
+            &graph_path,
+            "--tau",
+            "3",
+            "--out",
+            &snap_path,
+        ])
+        .status()
+        .expect("spawn snapshot save");
+    assert!(status.success(), "snapshot save failed");
+
+    let mut child = pardec()
+        .args([
+            "serve",
+            "--snapshot",
+            &snap_path,
+            "--addr",
+            "127.0.0.1:0",
+            "--accept-threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The daemon prints `pardec serve: listening on HOST:PORT` once bound.
+    let mut lines = BufReader::new(child.stdout.take().expect("stdout piped")).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("read serve stdout");
+        if let Some(rest) = line.strip_prefix("pardec serve: listening on ") {
+            break rest.trim().to_string();
+        }
+    };
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to daemon");
+
+    let info = wire::roundtrip(&mut stream, &Request::Info).expect("INFO");
+    assert_eq!(info.status, 0);
+    let nodes = u64::from_le_bytes(info.body[..8].try_into().unwrap());
+    assert_eq!(nodes, 256, "mesh 16x16");
+
+    // Adjacent mesh nodes: the §4 upper bound is exact-or-over, never under.
+    let resp =
+        wire::roundtrip(&mut stream, &Request::Distance(vec![(0, 1), (0, 0)])).expect("DIST");
+    assert_eq!(resp.status, 0);
+    assert_eq!(resp.batch, 2);
+    assert_eq!(resp.waves, 0, "oracle lookups launch no waves");
+    let d01 = u64::from_le_bytes(resp.body[..8].try_into().unwrap());
+    let d00 = u64::from_le_bytes(resp.body[8..16].try_into().unwrap());
+    assert!(d01 >= 1, "adjacent distance bound below truth");
+    assert_eq!(d00, 0, "self distance must be 0");
+
+    // A whole probe batch through one multi-source wave.
+    let probes: Vec<u32> = (0..256).collect();
+    let resp = wire::roundtrip(
+        &mut stream,
+        &Request::Nearest {
+            sources: vec![0, 255],
+            probes,
+        },
+    )
+    .expect("NEAREST");
+    assert_eq!(resp.status, 0);
+    assert_eq!(resp.waves, 1, "one wave per batch");
+    assert_eq!(resp.body.len(), 256 * 8);
+    // Probe 0 is claimed by source 0 at distance 0.
+    assert_eq!(u32::from_le_bytes(resp.body[..4].try_into().unwrap()), 0);
+    assert_eq!(u32::from_le_bytes(resp.body[4..8].try_into().unwrap()), 0);
+
+    // Out-of-range nodes are a protocol error, not a crash.
+    let resp = wire::roundtrip(&mut stream, &Request::ClusterOf(vec![9999])).expect("CLUSTER_OF");
+    assert_eq!(resp.status, wire::ERR_OUT_OF_RANGE);
+
+    let resp = wire::roundtrip(&mut stream, &Request::Shutdown).expect("SHUTDOWN");
+    assert_eq!(resp.status, 0);
+
+    let status = child.wait().expect("wait for serve");
+    assert!(status.success(), "serve exited with failure after shutdown");
+
+    let _ = std::fs::remove_file(graph_path);
+    let _ = std::fs::remove_file(snap_path);
+}

@@ -134,6 +134,22 @@ pub fn approximate_diameter(g: &CsrGraph, params: &DiameterParams) -> DiameterAp
             )
         }
     };
+    approximate_diameter_of_clustering(g, clustering, growth_steps, params)
+}
+
+/// The quotient half of the §4 pipeline, starting from an already-computed
+/// clustering — the path a resident [`crate::session::Session`] takes when
+/// the decomposition was loaded from a snapshot instead of recomputed.
+///
+/// Only `params.weighted`, `params.sparsify_above`, and `params.seed` (for
+/// the spanner) are read; the decomposition fields describe work already
+/// done. `growth_steps` is echoed into the result's ledger.
+pub fn approximate_diameter_of_clustering(
+    g: &CsrGraph,
+    clustering: Clustering,
+    growth_steps: usize,
+    params: &DiameterParams,
+) -> DiameterApprox {
     let radius = clustering.max_radius();
 
     let (mut q, quotient_kernel) = clustering.quotient_with_stats(g);
@@ -308,6 +324,22 @@ mod tests {
         assert_eq!(a.quotient_kernel.output_pairs, a.quotient_edges);
         assert!(a.quotient_kernel.input_pairs >= a.quotient_kernel.output_pairs);
         assert!(a.quotient_kernel.combine_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn of_clustering_matches_full_pipeline() {
+        let g = generators::mesh(20, 20);
+        let p = DiameterParams::new(6, 11);
+        let full = approximate_diameter(&g, &p);
+        let replay =
+            approximate_diameter_of_clustering(&g, full.clustering.clone(), full.growth_steps, &p);
+        assert_eq!(replay.lower_bound, full.lower_bound);
+        assert_eq!(replay.upper_bound, full.upper_bound);
+        assert_eq!(replay.upper_bound_weighted, full.upper_bound_weighted);
+        assert_eq!(replay.quotient_nodes, full.quotient_nodes);
+        assert_eq!(replay.quotient_edges, full.quotient_edges);
+        assert_eq!(replay.growth_steps, full.growth_steps);
+        assert_eq!(replay.clustering, full.clustering);
     }
 
     #[test]

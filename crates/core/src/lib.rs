@@ -39,16 +39,21 @@ pub mod kcenter;
 pub mod mpx;
 pub mod mr_impl;
 pub mod oracle;
+pub mod session;
 pub mod testing;
 pub mod weighted_cluster;
+pub mod wire;
 
 pub use cluster::{cluster, ClusterParams, ClusterResult, ClusterTrace, IterationTrace};
 pub use cluster2::{cluster2, Cluster2Result};
 pub use clustering::Clustering;
-pub use diameter::{approximate_diameter, DiameterApprox, DiameterParams};
+pub use diameter::{
+    approximate_diameter, approximate_diameter_of_clustering, DiameterApprox, DiameterParams,
+};
 pub use hadi::{hadi, HadiParams, HadiResult};
 pub use kcenter::{gonzalez, kcenter, KCenterResult};
 pub use mpx::{mpx, mpx_with_frontier, MpxResult};
 pub use oracle::DistanceOracle;
 pub use pardec_graph::frontier::FrontierStrategy;
+pub use session::{QueryLedger, Session, SessionAlgo, SessionError, SessionParams};
 pub use weighted_cluster::{weighted_cluster, WeightedClustering};

@@ -20,12 +20,14 @@ use crate::diameter::Decomposition;
 use pardec_graph::{CsrGraph, NodeId};
 
 /// Approximate distance oracle built from a clustering (§4).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DistanceOracle {
     assignment: Vec<NodeId>,
     dist_to_center: Vec<u32>,
     /// APSP over the weighted quotient (connecting-path metric).
     apsp: Vec<Vec<u64>>,
+    /// Per-cluster growth radii (drives [`Self::eccentricity_bound`]).
+    radii: Vec<u32>,
     radius: u32,
 }
 
@@ -44,6 +46,7 @@ impl DistanceOracle {
             radius: clustering.max_radius(),
             assignment: clustering.assignment,
             dist_to_center: clustering.dist_to_center,
+            radii: clustering.radii,
             apsp,
         }
     }
@@ -55,8 +58,36 @@ impl DistanceOracle {
             radius: clustering.max_radius(),
             assignment: clustering.assignment.clone(),
             dist_to_center: clustering.dist_to_center.clone(),
+            radii: clustering.radii.clone(),
             apsp: wq.apsp_matrix(),
         }
+    }
+
+    /// Reassembles an oracle from its stored parts (snapshot load path).
+    /// Shape-validates everything; returns the first violation found.
+    pub fn from_raw_parts(
+        assignment: Vec<NodeId>,
+        dist_to_center: Vec<u32>,
+        radii: Vec<u32>,
+        apsp: Vec<Vec<u64>>,
+    ) -> Result<Self, String> {
+        let q = radii.len();
+        if assignment.len() != dist_to_center.len() {
+            return Err("assignment / dist_to_center length mismatch".into());
+        }
+        if apsp.len() != q || apsp.iter().any(|row| row.len() != q) {
+            return Err("APSP matrix is not q x q".into());
+        }
+        if assignment.iter().any(|&c| (c as usize) >= q) {
+            return Err("assignment references a cluster beyond q".into());
+        }
+        Ok(DistanceOracle {
+            radius: radii.iter().copied().max().unwrap_or(0),
+            assignment,
+            dist_to_center,
+            radii,
+            apsp,
+        })
     }
 
     /// Number of clusters (quotient nodes).
@@ -72,7 +103,20 @@ impl DistanceOracle {
     /// Words of storage held (per-node arrays + quotient matrix) — the
     /// linear-space claim is `n + n + q²` with `q = O(√n)`.
     pub fn memory_words(&self) -> usize {
-        self.assignment.len() + self.dist_to_center.len() + self.apsp.len() * self.apsp.len()
+        self.assignment.len()
+            + self.dist_to_center.len()
+            + self.radii.len()
+            + self.apsp.len() * self.apsp.len()
+    }
+
+    /// Per-cluster growth radii of the underlying decomposition.
+    pub fn cluster_radii(&self) -> &[u32] {
+        &self.radii
+    }
+
+    /// The quotient APSP matrix (for persistence).
+    pub fn apsp_matrix(&self) -> &[Vec<u64>] {
+        &self.apsp
     }
 
     /// Upper bound on `dist(u, v)`; `u64::MAX` when the endpoints are in
@@ -95,6 +139,25 @@ impl DistanceOracle {
             return u64::MAX;
         }
         du + between + dv
+    }
+
+    /// Upper bound on the eccentricity of `v` **within its connected
+    /// component**: the maximum, over clusters `C` reachable from `v`'s
+    /// cluster, of `dist(v, c_v) + apsp[C_v][C] + radius(C)`.
+    ///
+    /// Every node of a reachable cluster is reachable (clusters are
+    /// internally connected) and lies within `radius(C)` of `C`'s center,
+    /// so this dominates `max_u dist(v, u)` over the component.
+    pub fn eccentricity_bound(&self, v: NodeId) -> u64 {
+        let cv = self.assignment[v as usize] as usize;
+        let dv = self.dist_to_center[v as usize] as u64;
+        self.apsp[cv]
+            .iter()
+            .zip(&self.radii)
+            .filter(|(&between, _)| between != u64::MAX)
+            .map(|(&between, &r)| dv + between + r as u64)
+            .max()
+            .unwrap_or(dv)
     }
 }
 
@@ -166,6 +229,66 @@ mod tests {
         let oracle = DistanceOracle::build(&g, 1, 0, Decomposition::Cluster);
         assert_eq!(oracle.query(0, 15), u64::MAX);
         assert!(oracle.query(0, 5) >= 5);
+    }
+
+    #[test]
+    fn eccentricity_bound_dominates_truth_per_component() {
+        let g = generators::disjoint_union(&generators::mesh(9, 9), &generators::cycle(11));
+        let oracle = DistanceOracle::build(&g, 4, 5, Decomposition::Cluster);
+        for v in [0u32, 40, 80, 81, 88] {
+            let d = bfs(&g, v).dist;
+            let truth = d
+                .iter()
+                .copied()
+                .filter(|&x| x != pardec_graph::INFINITE_DIST)
+                .max()
+                .unwrap() as u64;
+            let bound = oracle.eccentricity_bound(v);
+            assert!(
+                bound >= truth,
+                "ecc_bound({v}) = {bound} < true ecc {truth}"
+            );
+            assert!(bound < u64::MAX, "ecc_bound({v}) must stay in-component");
+        }
+    }
+
+    #[test]
+    fn raw_parts_round_trips_and_validates() {
+        let g = generators::mesh(10, 10);
+        let oracle = DistanceOracle::build(&g, 4, 1, Decomposition::Cluster2);
+        let rebuilt = DistanceOracle::from_raw_parts(
+            oracle.assignment.clone(),
+            oracle.dist_to_center.clone(),
+            oracle.radii.clone(),
+            oracle.apsp.clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, oracle);
+
+        // Shape violations are rejected.
+        assert!(DistanceOracle::from_raw_parts(
+            oracle.assignment.clone(),
+            vec![0; oracle.dist_to_center.len() + 1],
+            oracle.radii.clone(),
+            oracle.apsp.clone(),
+        )
+        .is_err());
+        assert!(DistanceOracle::from_raw_parts(
+            oracle.assignment.clone(),
+            oracle.dist_to_center.clone(),
+            vec![0; 1], // q shrinks: assignment now out of range
+            vec![vec![0]],
+        )
+        .is_err());
+        let mut ragged = oracle.apsp.clone();
+        ragged[0].push(0);
+        assert!(DistanceOracle::from_raw_parts(
+            oracle.assignment.clone(),
+            oracle.dist_to_center.clone(),
+            oracle.radii.clone(),
+            ragged,
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,788 @@
+//! A resident decomposition **session**: graph + clustering + oracle, loaded
+//! once and queried many times.
+//!
+//! This is the load-bearing type of the `pardec serve` redesign. The one-shot
+//! pipeline of the paper (decompose → report → exit) becomes
+//!
+//! 1. [`Session::build`] — run CLUSTER / CLUSTER2 / MPX on a graph and
+//!    optionally construct the §4 distance oracle, or
+//! 2. [`Session::save`] / [`Session::load`] — persist everything into a
+//!    `PDEC2` sectioned snapshot ([`pardec_graph::io`]) and reload it in time
+//!    proportional to the stored bytes, with no re-clustering and no
+//!    re-sorting;
+//!
+//! then answer **batched queries**:
+//!
+//! * [`Session::distance`] — §4 oracle upper bounds, O(1) per pair;
+//! * [`Session::cluster_of`] — assignment lookups;
+//! * [`Session::eccentricity`] — per-node eccentricity upper bounds from the
+//!   oracle's quotient APSP + cluster radii;
+//! * [`Session::nearest`] — the batch-amortized traversal: **one**
+//!   multi-source [`FrontierEngine`] wave answers every probe in the batch
+//!   (nearest source + exact hop distance), so hundreds of queries cost one
+//!   traversal of the graph.
+//!
+//! Every method returns a [`QueryLedger`] describing what the batch cost —
+//! batch size, frontier waves launched, wave rounds, strategy — which the
+//! wire protocol forwards to clients verbatim.
+//!
+//! ## Snapshot sections
+//!
+//! | tag | version | payload |
+//! |-----|---------|---------|
+//! | `CLUS` | 1 | `n u64, k u64, growth_steps u64, assignment n×u32, centers k×u32, dist_to_center n×u32, radii k×u32` |
+//! | `ORCL` | 1 | `q u64, apsp q²×u64` (row-major; per-node arrays are shared with `CLUS`) |
+//!
+//! All integers little-endian; all size arithmetic checked, so hostile
+//! section payloads error rather than panic or over-allocate.
+
+use crate::cluster::{cluster, ClusterParams};
+use crate::cluster2::cluster2;
+use crate::clustering::Clustering;
+use crate::diameter::{approximate_diameter_of_clustering, DiameterApprox, DiameterParams};
+use crate::mpx::mpx_with_frontier;
+use crate::oracle::DistanceOracle;
+use bytes::{Buf, BufMut};
+use pardec_graph::frontier::{FrontierEngine, FrontierStrategy};
+use pardec_graph::io::{save_snapshot, SectionData, Snapshot};
+use pardec_graph::{CsrGraph, NodeId, INFINITE_DIST, INVALID_NODE};
+use std::io::{self, Write};
+
+/// Section tag for the persisted [`Clustering`] (`b"CLUS"`).
+pub const SECTION_CLUSTERING: u32 = u32::from_le_bytes(*b"CLUS");
+/// Layout version of the clustering section.
+pub const SECTION_CLUSTERING_VERSION: u32 = 1;
+/// Section tag for the persisted [`DistanceOracle`] state (`b"ORCL"`).
+pub const SECTION_ORACLE: u32 = u32::from_le_bytes(*b"ORCL");
+/// Layout version of the oracle section.
+pub const SECTION_ORACLE_VERSION: u32 = 1;
+
+/// Which decomposition a session runs at build time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SessionAlgo {
+    /// CLUSTER(τ) — Algorithm 1.
+    Cluster,
+    /// CLUSTER2(τ) — Algorithm 2 (the Theorem 3 variant).
+    Cluster2,
+    /// Miller–Peng–Xu random-shift decomposition with rate `beta`.
+    Mpx {
+        /// Exponential start-time rate (`beta > 0`).
+        beta: f64,
+    },
+}
+
+impl SessionAlgo {
+    /// Stable lowercase name (matches the CLI spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SessionAlgo::Cluster => "cluster",
+            SessionAlgo::Cluster2 => "cluster2",
+            SessionAlgo::Mpx { .. } => "mpx",
+        }
+    }
+}
+
+/// Parameters of [`Session::build`].
+#[derive(Clone, Debug)]
+pub struct SessionParams {
+    /// Decomposition granularity τ (ignored by MPX).
+    pub tau: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Which decomposition to run.
+    pub algo: SessionAlgo,
+    /// Frontier strategy for growth phases *and* later `nearest` batches.
+    pub frontier: FrontierStrategy,
+    /// Also build the §4 distance oracle (costs one quotient APSP; enables
+    /// `distance` / `eccentricity` queries).
+    pub build_oracle: bool,
+}
+
+impl SessionParams {
+    /// CLUSTER(τ) with the ambient frontier default and an oracle.
+    pub fn new(tau: usize, seed: u64) -> Self {
+        SessionParams {
+            tau,
+            seed,
+            algo: SessionAlgo::Cluster,
+            frontier: FrontierStrategy::default_from_env(),
+            build_oracle: true,
+        }
+    }
+
+    /// Selects the decomposition algorithm.
+    pub fn with_algo(mut self, algo: SessionAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Selects the frontier expansion strategy.
+    pub fn with_frontier(mut self, frontier: FrontierStrategy) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Skips the oracle build (cluster-only sessions).
+    pub fn without_oracle(mut self) -> Self {
+        self.build_oracle = false;
+        self
+    }
+}
+
+/// What one batched query cost — forwarded verbatim through the wire
+/// protocol's response ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryLedger {
+    /// Number of individual queries answered by the batch.
+    pub batch: u32,
+    /// Frontier waves launched (0 for pure table lookups, 1 for a batched
+    /// `nearest` — the whole point of batching).
+    pub waves: u32,
+    /// Total frontier steps across those waves.
+    pub wave_rounds: u32,
+    /// Strategy the waves ran under.
+    pub strategy: FrontierStrategy,
+}
+
+impl QueryLedger {
+    fn lookup(batch: usize, strategy: FrontierStrategy) -> Self {
+        QueryLedger {
+            batch: batch as u32,
+            waves: 0,
+            wave_rounds: 0,
+            strategy,
+        }
+    }
+}
+
+/// Errors a query batch can raise (the wire layer maps these to error
+/// codes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// A query referenced a node id ≥ n.
+    NodeOutOfRange(NodeId),
+    /// `distance` / `eccentricity` on a session built `without_oracle`.
+    OracleMissing,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NodeOutOfRange(v) => write!(f, "node id {v} out of range"),
+            SessionError::OracleMissing => {
+                write!(f, "session has no distance oracle (built without one)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A loaded decomposition ready to answer query batches.
+#[derive(Clone, Debug)]
+pub struct Session {
+    graph: CsrGraph,
+    clustering: Clustering,
+    oracle: Option<DistanceOracle>,
+    frontier: FrontierStrategy,
+    growth_steps: usize,
+}
+
+impl Session {
+    /// Runs the decomposition (and optionally the oracle construction) on
+    /// `graph`, producing a resident session.
+    pub fn build(graph: CsrGraph, params: &SessionParams) -> Session {
+        let cp = ClusterParams::new(params.tau.max(1), params.seed).with_frontier(params.frontier);
+        let (clustering, growth_steps) = match params.algo {
+            SessionAlgo::Cluster => {
+                let r = cluster(&graph, &cp);
+                (r.clustering, r.trace.total_growth_steps())
+            }
+            SessionAlgo::Cluster2 => {
+                let r = cluster2(&graph, &cp);
+                (
+                    r.clustering,
+                    r.probe_trace.total_growth_steps() + r.trace.total_growth_steps(),
+                )
+            }
+            SessionAlgo::Mpx { beta } => {
+                let r = mpx_with_frontier(&graph, beta, params.seed, params.frontier);
+                (r.clustering, r.steps)
+            }
+        };
+        let oracle = params
+            .build_oracle
+            .then(|| DistanceOracle::from_clustering(&graph, &clustering));
+        Session {
+            graph,
+            clustering,
+            oracle,
+            frontier: params.frontier,
+            growth_steps,
+        }
+    }
+
+    /// Assembles a session from already-validated parts (the snapshot load
+    /// path and tests).
+    pub fn from_parts(
+        graph: CsrGraph,
+        clustering: Clustering,
+        oracle: Option<DistanceOracle>,
+        frontier: FrontierStrategy,
+        growth_steps: usize,
+    ) -> Result<Session, String> {
+        if clustering.assignment.len() != graph.num_nodes() {
+            return Err("clustering does not match graph size".into());
+        }
+        if let Some(o) = &oracle {
+            if o.num_clusters() != clustering.num_clusters() {
+                return Err("oracle does not match clustering".into());
+            }
+        }
+        Ok(Session {
+            graph,
+            clustering,
+            oracle,
+            frontier,
+            growth_steps,
+        })
+    }
+
+    /// The loaded graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The resident clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// The resident oracle, if one was built or loaded.
+    pub fn oracle(&self) -> Option<&DistanceOracle> {
+        self.oracle.as_ref()
+    }
+
+    /// Frontier strategy `nearest` batches run under.
+    pub fn frontier(&self) -> FrontierStrategy {
+        self.frontier
+    }
+
+    /// Overrides the frontier strategy for subsequent batches. Responses
+    /// stay byte-identical across strategies; only wall-clock changes.
+    pub fn set_frontier(&mut self, frontier: FrontierStrategy) {
+        self.frontier = frontier;
+    }
+
+    /// Growth steps the decomposition spent at build time (the §5
+    /// parallel-rounds proxy; 0 when unknown).
+    pub fn growth_steps(&self) -> usize {
+        self.growth_steps
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), SessionError> {
+        if (v as usize) < self.graph.num_nodes() {
+            Ok(())
+        } else {
+            Err(SessionError::NodeOutOfRange(v))
+        }
+    }
+
+    fn require_oracle(&self) -> Result<&DistanceOracle, SessionError> {
+        self.oracle.as_ref().ok_or(SessionError::OracleMissing)
+    }
+
+    /// Batched §4 distance queries: an upper bound on `dist(u, v)` per
+    /// pair, `u64::MAX` for cross-component pairs. O(1) per pair; the
+    /// ledger reports zero waves.
+    pub fn distance(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<(Vec<u64>, QueryLedger), SessionError> {
+        let oracle = self.require_oracle()?;
+        let mut out = Vec::with_capacity(pairs.len());
+        for &(u, v) in pairs {
+            self.check_node(u)?;
+            self.check_node(v)?;
+            out.push(oracle.query(u, v));
+        }
+        Ok((out, QueryLedger::lookup(pairs.len(), self.frontier)))
+    }
+
+    /// Batched cluster-membership lookups.
+    pub fn cluster_of(&self, nodes: &[NodeId]) -> Result<(Vec<NodeId>, QueryLedger), SessionError> {
+        let mut out = Vec::with_capacity(nodes.len());
+        for &v in nodes {
+            self.check_node(v)?;
+            out.push(self.clustering.assignment[v as usize]);
+        }
+        Ok((out, QueryLedger::lookup(nodes.len(), self.frontier)))
+    }
+
+    /// Batched per-node eccentricity upper bounds (within each node's
+    /// connected component), from the oracle's quotient APSP + radii.
+    pub fn eccentricity(&self, nodes: &[NodeId]) -> Result<(Vec<u64>, QueryLedger), SessionError> {
+        let oracle = self.require_oracle()?;
+        let mut out = Vec::with_capacity(nodes.len());
+        for &v in nodes {
+            self.check_node(v)?;
+            out.push(oracle.eccentricity_bound(v));
+        }
+        Ok((out, QueryLedger::lookup(nodes.len(), self.frontier)))
+    }
+
+    /// Batched nearest-source queries, answered by **one** multi-source
+    /// [`FrontierEngine`] wave: every source is activated up front, the wave
+    /// runs to exhaustion, and each probe reads off its claiming source and
+    /// exact hop distance. Unreachable probes report
+    /// `(INVALID_NODE, INFINITE_DIST)`.
+    ///
+    /// The ledger records `waves = 1` (or 0 for an empty source set) and
+    /// `wave_rounds` = the engine's step count — this is the figure the
+    /// serve acceptance check reads to confirm a 256-probe batch cost a
+    /// single traversal.
+    pub fn nearest(
+        &self,
+        sources: &[NodeId],
+        probes: &[NodeId],
+    ) -> Result<(Vec<(NodeId, u32)>, QueryLedger), SessionError> {
+        for &s in sources {
+            self.check_node(s)?;
+        }
+        for &p in probes {
+            self.check_node(p)?;
+        }
+        if sources.is_empty() {
+            let out = vec![(INVALID_NODE, INFINITE_DIST); probes.len()];
+            return Ok((out, QueryLedger::lookup(probes.len(), self.frontier)));
+        }
+        let mut engine = FrontierEngine::new(&self.graph, self.frontier);
+        for &s in sources {
+            engine.add_source(s);
+        }
+        engine.run();
+        let rounds = engine.steps() as u32;
+        let parts = engine.into_parts();
+        let out = probes
+            .iter()
+            .map(|&p| {
+                let owner = parts.owner[p as usize];
+                if owner == INVALID_NODE {
+                    (INVALID_NODE, INFINITE_DIST)
+                } else {
+                    (parts.sources[owner as usize], parts.dist[p as usize])
+                }
+            })
+            .collect();
+        Ok((
+            out,
+            QueryLedger {
+                batch: probes.len() as u32,
+                waves: 1,
+                wave_rounds: rounds,
+                strategy: self.frontier,
+            },
+        ))
+    }
+
+    /// The §4 diameter bounds of the resident clustering — the same numbers
+    /// `pardec dist approx` reports, computed without re-clustering.
+    pub fn diameter(&self, weighted: bool, sparsify_above: Option<usize>) -> DiameterApprox {
+        let mut params = DiameterParams::new(1, 0).with_frontier(self.frontier);
+        params.weighted = weighted;
+        params.sparsify_above = sparsify_above;
+        approximate_diameter_of_clustering(
+            &self.graph,
+            self.clustering.clone(),
+            self.growth_steps,
+            &params,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot persistence
+    // ------------------------------------------------------------------
+
+    /// Writes the session as a `PDEC2` snapshot: graph section + `CLUS` +
+    /// (when an oracle is resident) `ORCL`.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut sections = vec![SectionData {
+            tag: SECTION_CLUSTERING,
+            version: SECTION_CLUSTERING_VERSION,
+            payload: encode_clustering(&self.clustering, self.growth_steps),
+        }];
+        if let Some(oracle) = &self.oracle {
+            sections.push(SectionData {
+                tag: SECTION_ORACLE,
+                version: SECTION_ORACLE_VERSION,
+                payload: encode_oracle(oracle),
+            });
+        }
+        save_snapshot(&self.graph, &sections, w)
+    }
+
+    /// Loads a session snapshot through the **fast** graph path (structural
+    /// checks + bulk copy — the daemon-startup route; see
+    /// [`pardec_graph::io`]'s trust contract). Requires a `CLUS` section;
+    /// `ORCL` is optional.
+    pub fn load(bytes: &[u8], frontier: FrontierStrategy) -> io::Result<Session> {
+        Self::load_with(bytes, frontier, false)
+    }
+
+    /// Loads a snapshot of unknown origin: checked (builder) graph decode
+    /// plus a full [`Clustering::validate`] pass.
+    pub fn load_checked(bytes: &[u8], frontier: FrontierStrategy) -> io::Result<Session> {
+        Self::load_with(bytes, frontier, true)
+    }
+
+    fn load_with(bytes: &[u8], frontier: FrontierStrategy, checked: bool) -> io::Result<Session> {
+        let snap = Snapshot::parse(bytes)?;
+        let graph = if checked {
+            snap.graph_checked()?
+        } else {
+            snap.graph()?
+        };
+        let (clus_version, clus) = snap
+            .section(SECTION_CLUSTERING)
+            .ok_or_else(|| data_err("snapshot has no clustering section"))?;
+        if clus_version != SECTION_CLUSTERING_VERSION {
+            return Err(data_err(format!(
+                "unsupported clustering section version {clus_version}"
+            )));
+        }
+        let (clustering, growth_steps) = decode_clustering(clus, graph.num_nodes())?;
+        if checked {
+            clustering.validate(&graph).map_err(data_err)?;
+        }
+        let oracle = match snap.section(SECTION_ORACLE) {
+            None => None,
+            Some((version, body)) => {
+                if version != SECTION_ORACLE_VERSION {
+                    return Err(data_err(format!(
+                        "unsupported oracle section version {version}"
+                    )));
+                }
+                Some(decode_oracle(body, &clustering)?)
+            }
+        };
+        Session::from_parts(graph, clustering, oracle, frontier, growth_steps).map_err(data_err)
+    }
+}
+
+fn data_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn encode_clustering(c: &Clustering, growth_steps: usize) -> Vec<u8> {
+    let (n, k) = (c.assignment.len(), c.centers.len());
+    let mut buf = Vec::with_capacity(24 + 4 * (2 * n + 2 * k));
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(k as u64);
+    buf.put_u64_le(growth_steps as u64);
+    for &a in &c.assignment {
+        buf.put_u32_le(a);
+    }
+    for &ctr in &c.centers {
+        buf.put_u32_le(ctr);
+    }
+    for &d in &c.dist_to_center {
+        buf.put_u32_le(d);
+    }
+    for &r in &c.radii {
+        buf.put_u32_le(r);
+    }
+    buf
+}
+
+fn decode_clustering(body: &[u8], graph_nodes: usize) -> io::Result<(Clustering, usize)> {
+    let mut buf = body;
+    if buf.remaining() < 24 {
+        return Err(data_err("truncated clustering header"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let k = buf.get_u64_le() as usize;
+    let growth_steps = buf.get_u64_le() as usize;
+    if n != graph_nodes {
+        return Err(data_err("clustering node count does not match graph"));
+    }
+    let expected = n
+        .checked_add(k)
+        .and_then(|t| t.checked_mul(2))
+        .and_then(|t| t.checked_mul(4))
+        .ok_or_else(|| data_err("clustering sizes overflow"))?;
+    if buf.remaining() != expected {
+        return Err(data_err("clustering length mismatch"));
+    }
+    let mut take = |len: usize| -> Vec<u32> { (0..len).map(|_| buf.get_u32_le()).collect() };
+    let assignment = take(n);
+    let centers = take(k);
+    let dist_to_center = take(n);
+    let radii = take(k);
+    // Cheap structural checks even on the fast path: everything in range,
+    // so queries can index fearlessly.
+    if assignment.iter().any(|&c| (c as usize) >= k) {
+        return Err(data_err("clustering assignment out of range"));
+    }
+    if centers.iter().any(|&ctr| (ctr as usize) >= n) {
+        return Err(data_err("clustering center out of range"));
+    }
+    Ok((
+        Clustering {
+            assignment,
+            centers,
+            dist_to_center,
+            radii,
+        },
+        growth_steps,
+    ))
+}
+
+fn encode_oracle(o: &DistanceOracle) -> Vec<u8> {
+    let q = o.num_clusters();
+    let mut buf = Vec::with_capacity(8 + 8 * q * q);
+    buf.put_u64_le(q as u64);
+    for row in o.apsp_matrix() {
+        for &d in row {
+            buf.put_u64_le(d);
+        }
+    }
+    buf
+}
+
+fn decode_oracle(body: &[u8], clustering: &Clustering) -> io::Result<DistanceOracle> {
+    let mut buf = body;
+    if buf.remaining() < 8 {
+        return Err(data_err("truncated oracle header"));
+    }
+    let q = buf.get_u64_le() as usize;
+    if q != clustering.num_clusters() {
+        return Err(data_err("oracle cluster count does not match clustering"));
+    }
+    let expected = q
+        .checked_mul(q)
+        .and_then(|t| t.checked_mul(8))
+        .ok_or_else(|| data_err("oracle sizes overflow"))?;
+    if buf.remaining() != expected {
+        return Err(data_err("oracle length mismatch"));
+    }
+    let apsp: Vec<Vec<u64>> = (0..q)
+        .map(|_| (0..q).map(|_| buf.get_u64_le()).collect())
+        .collect();
+    DistanceOracle::from_raw_parts(
+        clustering.assignment.clone(),
+        clustering.dist_to_center.clone(),
+        clustering.radii.clone(),
+        apsp,
+    )
+    .map_err(data_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardec_graph::generators;
+    use pardec_graph::traversal::bfs;
+
+    fn mesh_session(build_oracle: bool) -> Session {
+        let g = generators::mesh(12, 12);
+        let mut params = SessionParams::new(4, 7);
+        params.build_oracle = build_oracle;
+        Session::build(g, &params)
+    }
+
+    #[test]
+    fn build_matches_standalone_cluster() {
+        let g = generators::mesh(10, 10);
+        let s = Session::build(g.clone(), &SessionParams::new(4, 3));
+        let standalone = cluster(&g, &ClusterParams::new(4, 3)).clustering;
+        assert_eq!(s.clustering(), &standalone);
+        assert_eq!(
+            s.growth_steps(),
+            cluster(&g, &ClusterParams::new(4, 3))
+                .trace
+                .total_growth_steps()
+        );
+        s.clustering().validate(s.graph()).unwrap();
+        assert!(s.oracle().is_some());
+    }
+
+    #[test]
+    fn distance_batch_matches_oracle() {
+        let s = mesh_session(true);
+        let oracle = s.oracle().unwrap();
+        let pairs = [(0, 143), (5, 5), (17, 100)];
+        let (dists, ledger) = s.distance(&pairs).unwrap();
+        assert_eq!(ledger.batch, 3);
+        assert_eq!(ledger.waves, 0);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(dists[i], oracle.query(u, v));
+        }
+    }
+
+    #[test]
+    fn cluster_of_matches_assignment() {
+        let s = mesh_session(false);
+        let (clusters, ledger) = s.cluster_of(&[0, 7, 99]).unwrap();
+        assert_eq!(ledger.waves, 0);
+        for (i, &v) in [0usize, 7, 99].iter().enumerate() {
+            assert_eq!(clusters[i], s.clustering().assignment[v]);
+        }
+    }
+
+    #[test]
+    fn eccentricity_dominates_truth() {
+        let s = mesh_session(true);
+        let nodes = [0u32, 60, 143];
+        let (bounds, _) = s.eccentricity(&nodes).unwrap();
+        for (i, &v) in nodes.iter().enumerate() {
+            let truth = bfs(s.graph(), v)
+                .dist
+                .iter()
+                .copied()
+                .filter(|&d| d != INFINITE_DIST)
+                .max()
+                .unwrap() as u64;
+            assert!(bounds[i] >= truth, "ecc({v}) bound {} < {truth}", bounds[i]);
+        }
+    }
+
+    #[test]
+    fn nearest_is_one_wave_and_exact() {
+        let s = mesh_session(false);
+        let sources = [0u32, 143];
+        let probes: Vec<NodeId> = (0..144).collect();
+        let (answers, ledger) = s.nearest(&sources, &probes).unwrap();
+        assert_eq!(ledger.batch, 144);
+        assert_eq!(ledger.waves, 1, "a batch must cost exactly one wave");
+        assert!(ledger.wave_rounds > 0);
+        let d0 = bfs(s.graph(), 0).dist;
+        let d1 = bfs(s.graph(), 143).dist;
+        for (p, &(src, dist)) in probes.iter().zip(&answers) {
+            let best = d0[*p as usize].min(d1[*p as usize]);
+            assert_eq!(dist, best, "probe {p}");
+            assert!(sources.contains(&src));
+        }
+    }
+
+    #[test]
+    fn nearest_handles_unreachable_and_empty() {
+        let g = generators::disjoint_union(&generators::path(5), &generators::path(5));
+        let s = Session::build(g, &SessionParams::new(2, 1).without_oracle());
+        let (answers, _) = s.nearest(&[0], &[2, 7]).unwrap();
+        assert_eq!(answers[0], (0, 2));
+        assert_eq!(answers[1], (INVALID_NODE, INFINITE_DIST));
+        let (answers, ledger) = s.nearest(&[], &[3]).unwrap();
+        assert_eq!(answers[0], (INVALID_NODE, INFINITE_DIST));
+        assert_eq!(ledger.waves, 0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = mesh_session(false);
+        assert_eq!(
+            s.distance(&[(0, 1)]).unwrap_err(),
+            SessionError::OracleMissing
+        );
+        assert_eq!(
+            s.cluster_of(&[999]).unwrap_err(),
+            SessionError::NodeOutOfRange(999)
+        );
+        assert_eq!(
+            s.nearest(&[0], &[999]).unwrap_err(),
+            SessionError::NodeOutOfRange(999)
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_with_oracle() {
+        let s = mesh_session(true);
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        for loaded in [
+            Session::load(&buf, s.frontier()).unwrap(),
+            Session::load_checked(&buf, s.frontier()).unwrap(),
+        ] {
+            assert_eq!(loaded.graph(), s.graph());
+            assert_eq!(loaded.clustering(), s.clustering());
+            assert_eq!(loaded.oracle(), s.oracle());
+            assert_eq!(loaded.growth_steps(), s.growth_steps());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_without_oracle() {
+        let s = mesh_session(false);
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let loaded = Session::load(&buf, s.frontier()).unwrap();
+        assert!(loaded.oracle().is_none());
+        assert_eq!(loaded.clustering(), s.clustering());
+    }
+
+    #[test]
+    fn snapshot_every_truncation_is_an_error() {
+        let g = generators::mesh(4, 5);
+        let s = Session::build(g, &SessionParams::new(2, 9));
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                Session::load(&buf[..cut], FrontierStrategy::TopDown).is_err(),
+                "prefix of {cut} bytes must not load"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_cross_wired_sections() {
+        // A clustering for a *different* graph size must be rejected.
+        let a = Session::build(generators::mesh(4, 4), &SessionParams::new(2, 1));
+        let b = Session::build(generators::mesh(5, 5), &SessionParams::new(2, 1));
+        let mut buf = Vec::new();
+        let hybrid = Session::from_parts(
+            b.graph().clone(),
+            a.clustering().clone(),
+            None,
+            FrontierStrategy::TopDown,
+            0,
+        );
+        assert!(hybrid.is_err());
+        // Write a's sections, then corrupt the declared node count.
+        a.save(&mut buf).unwrap();
+        let snap = Snapshot::parse(&buf).unwrap();
+        let clus_off = snap
+            .sections()
+            .iter()
+            .find(|e| e.tag == SECTION_CLUSTERING)
+            .unwrap()
+            .offset;
+        let mut bad = buf.clone();
+        bad[clus_off..clus_off + 8].copy_from_slice(&999u64.to_le_bytes());
+        assert!(Session::load(&bad, FrontierStrategy::TopDown).is_err());
+    }
+
+    #[test]
+    fn diameter_reuses_resident_clustering() {
+        let g = generators::mesh(15, 15);
+        let s = Session::build(g.clone(), &SessionParams::new(4, 2));
+        let d = s.diameter(true, None);
+        assert_eq!(d.clustering, *s.clustering());
+        let truth = pardec_graph::diameter::exact_diameter(&g) as u64;
+        assert!(d.lower_bound <= truth);
+        assert!(d.estimate() >= truth);
+    }
+
+    #[test]
+    fn mpx_and_cluster2_sessions_build() {
+        let g = generators::mesh(8, 8);
+        for algo in [SessionAlgo::Cluster2, SessionAlgo::Mpx { beta: 0.3 }] {
+            let s = Session::build(g.clone(), &SessionParams::new(2, 5).with_algo(algo));
+            s.clustering().validate(s.graph()).unwrap();
+            assert!(s.oracle().is_some());
+            let mut buf = Vec::new();
+            s.save(&mut buf).unwrap();
+            let loaded = Session::load(&buf, s.frontier()).unwrap();
+            assert_eq!(loaded.clustering(), s.clustering());
+        }
+    }
+}

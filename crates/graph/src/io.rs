@@ -1,7 +1,9 @@
 //! Graph serialization: SNAP-style text edge lists and a compact binary
 //! snapshot format.
 //!
-//! The binary format (`PDEC1`) stores the CSR arrays directly so that large
+//! # The `PDEC1` base format
+//!
+//! The original binary format stores the CSR arrays directly so that large
 //! generated workloads can be cached between experiment runs:
 //!
 //! ```text
@@ -11,12 +13,71 @@
 //! offsets (n + 1) × u64 LE
 //! targets arcs × u32 LE
 //! ```
+//!
+//! # The `PDEC2` sectioned container
+//!
+//! Resident services ([`pardec serve`]) need more than the graph in one
+//! file: the clustering, the distance-oracle tables, and whatever future
+//! state (weighted oracles, compressed CSR) the ROADMAP adds. `PDEC2`
+//! wraps any number of **sections** behind a versioned table:
+//!
+//! ```text
+//! magic         b"PDEC2\0"                        6 bytes
+//! table version u32 LE                            (currently 1)
+//! section count u32 LE
+//! entries       count × { tag u32, version u32, offset u64, len u64 }
+//! payloads      8-byte-aligned byte ranges, zero padding between them
+//! ```
+//!
+//! Offsets are absolute file offsets and each payload is 8-byte aligned, so
+//! a memory-mapped snapshot can hand out aligned `&[u8]` views without
+//! copying the file through a parser. Every snapshot carries exactly one
+//! graph section ([`SECTION_GRAPH`], payload = the `PDEC1` body); other
+//! crates register their own tags (the session layer persists clustering
+//! and oracle sections). Unknown tags are preserved and ignored — old
+//! readers skip what they do not understand, new readers fall back to
+//! recomputing sections that are absent.
+//!
+//! Two graph read paths exist:
+//! * [`Snapshot::graph`] — the **fast path**: header/offset structural
+//!   checks plus a bulk arc-range check, then a straight copy into the CSR
+//!   arrays. No per-edge re-sort, dedup, or builder pass — startup cost is
+//!   a memcpy, which is what a resident daemon wants. It trusts deeper CSR
+//!   invariants (sorted adjacency, symmetry) to the writer; snapshots this
+//!   module wrote satisfy them by construction.
+//! * [`Snapshot::graph_checked`] — the **fallback path** for foreign or
+//!   suspect files: every edge is re-run through [`GraphBuilder`], so no
+//!   payload can violate a CSR invariant.
+//!
+//! All size arithmetic on both paths is checked: hostile headers produce
+//! an [`io::Error`], never an overflow panic, and truncating a snapshot at
+//! any byte yields an error (asserted exhaustively by the tests here and
+//! property-tested in `tests/proptests_session.rs`).
 
 use crate::{CsrGraph, GraphBuilder, NodeId};
 use bytes::{Buf, BufMut};
+use rayon::prelude::*;
 use std::io::{self, BufRead, Write};
 
 const MAGIC: &[u8; 6] = b"PDEC1\0";
+const MAGIC_V2: &[u8; 6] = b"PDEC2\0";
+
+/// Current version of the `PDEC2` section table layout.
+pub const SNAPSHOT_TABLE_VERSION: u32 = 1;
+
+/// Section tag of the graph CSR payload (`b"GRPH"`, little-endian).
+pub const SECTION_GRAPH: u32 = u32::from_le_bytes(*b"GRPH");
+
+/// Current payload version written for [`SECTION_GRAPH`].
+pub const SECTION_GRAPH_VERSION: u32 = 1;
+
+/// Upper bound on the section count a reader will accept — far above any
+/// legitimate snapshot, low enough that a hostile count cannot drive a
+/// large allocation.
+const MAX_SECTIONS: usize = 4096;
+
+/// Bytes per section-table entry: tag, version, offset, len.
+const ENTRY_BYTES: usize = 4 + 4 + 8 + 8;
 
 /// Writes `g` as a text edge list: a `# nodes <n> edges <m>` header followed
 /// by one `u<TAB>v` line per undirected edge.
@@ -83,12 +144,16 @@ pub fn read_edge_list(r: &mut impl BufRead) -> io::Result<CsrGraph> {
     Ok(b.build())
 }
 
-/// Serializes `g` into the `PDEC1` binary snapshot format.
-pub fn save_binary(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
+fn data_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Encodes the `PDEC1` graph body (everything after the magic): `n`,
+/// `arcs`, offsets, targets. This is also the [`SECTION_GRAPH`] payload.
+fn encode_graph_body(g: &CsrGraph) -> Vec<u8> {
     let offsets = g.raw_offsets();
     let targets = g.raw_targets();
-    let mut buf = Vec::with_capacity(MAGIC.len() + 16 + offsets.len() * 8 + targets.len() * 4);
-    buf.put_slice(MAGIC);
+    let mut buf = Vec::with_capacity(16 + offsets.len() * 8 + targets.len() * 4);
     buf.put_u64_le(g.num_nodes() as u64);
     buf.put_u64_le(targets.len() as u64);
     for &o in offsets {
@@ -97,53 +162,85 @@ pub fn save_binary(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
     for &t in targets {
         buf.put_u32_le(t);
     }
-    w.write_all(&buf)
+    buf
 }
 
-/// Deserializes a `PDEC1` snapshot.
-pub fn load_binary(bytes: &[u8]) -> io::Result<CsrGraph> {
-    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    let mut buf = bytes;
-    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
-        return Err(err("bad magic"));
-    }
-    buf.advance(MAGIC.len());
+/// Validates a graph body's header, returning `(n, arcs, rest)` with `rest`
+/// positioned at the offsets array and guaranteed to hold exactly the
+/// declared payload. All arithmetic is checked: a hostile header must
+/// produce an error, not an overflow panic (debug) or a bogus comparison
+/// (release).
+fn decode_graph_header(body: &[u8]) -> io::Result<(usize, usize, &[u8])> {
+    let mut buf = body;
     if buf.remaining() < 16 {
-        return Err(err("truncated header"));
+        return Err(data_err("truncated header"));
     }
     let n = buf.get_u64_le() as usize;
     let arcs = buf.get_u64_le() as usize;
-    // Checked arithmetic: a hostile header must produce an error, not an
-    // overflow panic (debug) or a bogus comparison (release).
     let expected = n
         .checked_add(1)
         .and_then(|o| o.checked_mul(8))
         .and_then(|o| o.checked_add(arcs.checked_mul(4)?))
-        .ok_or_else(|| err("header sizes overflow"))?;
+        .ok_or_else(|| data_err("header sizes overflow"))?;
     if buf.remaining() != expected {
-        return Err(err("length mismatch"));
+        return Err(data_err("length mismatch"));
     }
+    Ok((n, arcs, buf))
+}
+
+/// Fast graph decode: structural checks (monotone offsets, in-range
+/// targets) plus a bulk copy — no per-edge builder pass. See the module
+/// docs for the trust contract.
+fn decode_graph_fast(body: &[u8]) -> io::Result<CsrGraph> {
+    let (n, arcs, mut buf) = decode_graph_header(body)?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut prev = 0usize;
+    for i in 0..=n {
+        let o = buf.get_u64_le() as usize;
+        if (i == 0 && o != 0) || o < prev || o > arcs {
+            return Err(data_err("inconsistent offsets"));
+        }
+        prev = o;
+        offsets.push(o);
+    }
+    if prev != arcs {
+        return Err(data_err("inconsistent offsets"));
+    }
+    let targets: Vec<NodeId> = (0..arcs).map(|_| buf.get_u32_le()).collect();
+    let in_range = if arcs > 1 << 16 {
+        targets.par_iter().all(|&t| (t as usize) < n)
+    } else {
+        targets.iter().all(|&t| (t as usize) < n)
+    };
+    if !in_range {
+        return Err(data_err("target out of range"));
+    }
+    Ok(CsrGraph::from_parts(offsets, targets))
+}
+
+/// Checked graph decode: every edge re-runs through [`GraphBuilder`] so
+/// corrupt payloads cannot violate CSR invariants.
+fn decode_graph_checked(body: &[u8]) -> io::Result<CsrGraph> {
+    let (n, arcs, mut buf) = decode_graph_header(body)?;
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         offsets.push(buf.get_u64_le() as usize);
     }
     let mut b = GraphBuilder::with_capacity(n, arcs / 2);
-    // Re-run through the builder so corrupt payloads cannot violate CSR
-    // invariants.
     let mut targets = Vec::with_capacity(arcs);
     for _ in 0..arcs {
         targets.push(buf.get_u32_le());
     }
     if *offsets.last().unwrap_or(&0) != arcs {
-        return Err(err("inconsistent offsets"));
+        return Err(data_err("inconsistent offsets"));
     }
     for u in 0..n {
         for &v in targets
             .get(offsets[u]..offsets[u + 1])
-            .ok_or_else(|| err("offset out of bounds"))?
+            .ok_or_else(|| data_err("offset out of bounds"))?
         {
             if (v as usize) >= n {
-                return Err(err("target out of range"));
+                return Err(data_err("target out of range"));
             }
             if (u as NodeId) < v {
                 b.add_edge(u as NodeId, v);
@@ -151,6 +248,217 @@ pub fn load_binary(bytes: &[u8]) -> io::Result<CsrGraph> {
         }
     }
     Ok(b.build())
+}
+
+/// Serializes `g` into the `PDEC1` binary snapshot format (graph only; use
+/// [`save_snapshot`] to persist additional sections).
+pub fn save_binary(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&encode_graph_body(g))
+}
+
+/// Deserializes the graph of a `PDEC1` **or** `PDEC2` snapshot through the
+/// checked (builder) path; extra `PDEC2` sections are ignored.
+pub fn load_binary(bytes: &[u8]) -> io::Result<CsrGraph> {
+    Snapshot::parse(bytes)?.graph_checked()
+}
+
+/// One section to persist alongside the graph in a `PDEC2` snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SectionData {
+    /// Four-byte tag (conventionally ASCII via `u32::from_le_bytes`).
+    pub tag: u32,
+    /// Payload layout version, interpreted by the owning crate.
+    pub version: u32,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Serializes `g` plus `extra` sections into a `PDEC2` sectioned snapshot.
+///
+/// The graph always becomes the first section ([`SECTION_GRAPH`]); callers
+/// must not pass that tag themselves. Payloads are laid out in argument
+/// order, each 8-byte aligned.
+pub fn save_snapshot(g: &CsrGraph, extra: &[SectionData], w: &mut impl Write) -> io::Result<()> {
+    assert!(
+        extra.iter().all(|s| s.tag != SECTION_GRAPH),
+        "the graph section is written implicitly"
+    );
+    assert!(extra.len() < MAX_SECTIONS, "too many sections");
+    let graph_body = encode_graph_body(g);
+    let count = 1 + extra.len();
+    let table_end = MAGIC_V2.len() + 8 + count * ENTRY_BYTES;
+
+    let mut header = Vec::with_capacity(table_end);
+    header.put_slice(MAGIC_V2);
+    header.put_u32_le(SNAPSHOT_TABLE_VERSION);
+    header.put_u32_le(count as u32);
+    let mut cursor = table_end;
+    let mut offsets = Vec::with_capacity(count);
+    for (tag, version, len) in
+        std::iter::once((SECTION_GRAPH, SECTION_GRAPH_VERSION, graph_body.len()))
+            .chain(extra.iter().map(|s| (s.tag, s.version, s.payload.len())))
+    {
+        cursor = cursor.next_multiple_of(8);
+        header.put_u32_le(tag);
+        header.put_u32_le(version);
+        header.put_u64_le(cursor as u64);
+        header.put_u64_le(len as u64);
+        offsets.push(cursor);
+        cursor += len;
+    }
+    w.write_all(&header)?;
+    let mut written = table_end;
+    for (start, payload) in offsets
+        .iter()
+        .zip(std::iter::once(&graph_body).chain(extra.iter().map(|s| &s.payload)))
+    {
+        for _ in written..*start {
+            w.write_all(&[0])?; // alignment padding
+        }
+        w.write_all(payload)?;
+        written = start + payload.len();
+    }
+    Ok(())
+}
+
+/// One parsed entry of a snapshot's section table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Four-byte tag.
+    pub tag: u32,
+    /// Payload layout version.
+    pub version: u32,
+    /// Absolute payload offset within the snapshot.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// A parsed (but not yet decoded) binary snapshot: the section table over a
+/// borrowed byte buffer. Works for both formats — a `PDEC1` file parses as
+/// a single implicit graph section — so every reader in the workspace can
+/// accept either.
+#[derive(Clone, Debug)]
+pub struct Snapshot<'a> {
+    bytes: &'a [u8],
+    entries: Vec<SectionEntry>,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Parses the section table (`PDEC2`) or synthesizes one (`PDEC1`).
+    ///
+    /// Structural guarantees on success: a graph section exists, every
+    /// section's byte range lies within `bytes`, and the ranges reach the
+    /// end of `bytes` exactly — so truncating a valid snapshot at any byte
+    /// fails either here or in the graph decode, never silently.
+    pub fn parse(bytes: &'a [u8]) -> io::Result<Snapshot<'a>> {
+        if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
+            let entries = vec![SectionEntry {
+                tag: SECTION_GRAPH,
+                version: SECTION_GRAPH_VERSION,
+                offset: MAGIC.len(),
+                len: bytes.len() - MAGIC.len(),
+            }];
+            return Ok(Snapshot { bytes, entries });
+        }
+        if bytes.len() < MAGIC_V2.len() || &bytes[..MAGIC_V2.len()] != MAGIC_V2 {
+            return Err(data_err("bad magic"));
+        }
+        let mut buf = &bytes[MAGIC_V2.len()..];
+        if buf.remaining() < 8 {
+            return Err(data_err("truncated section table header"));
+        }
+        let table_version = buf.get_u32_le();
+        if table_version != SNAPSHOT_TABLE_VERSION {
+            return Err(data_err(format!(
+                "unsupported snapshot table version {table_version}"
+            )));
+        }
+        let count = buf.get_u32_le() as usize;
+        if count == 0 || count > MAX_SECTIONS {
+            return Err(data_err(format!("implausible section count {count}")));
+        }
+        let table_bytes = count
+            .checked_mul(ENTRY_BYTES)
+            .ok_or_else(|| data_err("section table size overflow"))?;
+        if buf.remaining() < table_bytes {
+            return Err(data_err("truncated section table"));
+        }
+        let table_end = MAGIC_V2.len() + 8 + table_bytes;
+        let mut entries = Vec::with_capacity(count);
+        let mut end = table_end;
+        for _ in 0..count {
+            let tag = buf.get_u32_le();
+            let version = buf.get_u32_le();
+            let offset = buf.get_u64_le();
+            let len = buf.get_u64_le();
+            if offset > usize::MAX as u64 || len > usize::MAX as u64 {
+                return Err(data_err("section range overflow"));
+            }
+            let (offset, len) = (offset as usize, len as usize);
+            let section_end = offset
+                .checked_add(len)
+                .ok_or_else(|| data_err("section range overflow"))?;
+            if offset < table_end || section_end > bytes.len() {
+                return Err(data_err("section range out of bounds"));
+            }
+            end = end.max(section_end);
+            entries.push(SectionEntry {
+                tag,
+                version,
+                offset,
+                len,
+            });
+        }
+        // Pin the file length: trailing bytes beyond the last section would
+        // make some truncations of a longer file parse successfully.
+        if end != bytes.len() {
+            return Err(data_err("trailing bytes after last section"));
+        }
+        if !entries.iter().any(|e| e.tag == SECTION_GRAPH) {
+            return Err(data_err("snapshot has no graph section"));
+        }
+        Ok(Snapshot { bytes, entries })
+    }
+
+    /// The parsed section table, in file order.
+    pub fn sections(&self) -> &[SectionEntry] {
+        &self.entries
+    }
+
+    /// Payload and version of the first section with `tag`, if present.
+    pub fn section(&self, tag: u32) -> Option<(u32, &'a [u8])> {
+        self.entries
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| (e.version, &self.bytes[e.offset..e.offset + e.len]))
+    }
+
+    fn graph_body(&self) -> io::Result<&'a [u8]> {
+        let (version, body) = self
+            .section(SECTION_GRAPH)
+            .ok_or_else(|| data_err("snapshot has no graph section"))?;
+        if version != SECTION_GRAPH_VERSION {
+            return Err(data_err(format!(
+                "unsupported graph section version {version}"
+            )));
+        }
+        Ok(body)
+    }
+
+    /// Decodes the graph through the **fast path**: structural checks and a
+    /// bulk copy, no per-edge rebuild (see the module docs' trust
+    /// contract). This is the resident-daemon startup path.
+    pub fn graph(&self) -> io::Result<CsrGraph> {
+        decode_graph_fast(self.graph_body()?)
+    }
+
+    /// Decodes the graph through the **checked fallback path**: every edge
+    /// re-runs through [`GraphBuilder`]. Use for files of unknown origin.
+    pub fn graph_checked(&self) -> io::Result<CsrGraph> {
+        decode_graph_checked(self.graph_body()?)
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +544,153 @@ mod tests {
         assert!(load_binary(&buf).is_err());
     }
 
+    const TAG_A: u32 = u32::from_le_bytes(*b"AAAA");
+    const TAG_B: u32 = u32::from_le_bytes(*b"BBBB");
+
+    #[test]
+    fn snapshot_round_trips_with_sections() {
+        let g = generators::mesh(6, 9);
+        let extra = [
+            SectionData {
+                tag: TAG_A,
+                version: 3,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            SectionData {
+                tag: TAG_B,
+                version: 1,
+                payload: Vec::new(), // empty payloads are legal
+            },
+        ];
+        let mut buf = Vec::new();
+        save_snapshot(&g, &extra, &mut buf).unwrap();
+        let snap = Snapshot::parse(&buf).unwrap();
+        assert_eq!(snap.sections().len(), 3);
+        assert_eq!(snap.sections()[0].tag, SECTION_GRAPH);
+        assert_eq!(snap.section(TAG_A), Some((3, &[1u8, 2, 3, 4, 5][..])));
+        assert_eq!(snap.section(TAG_B), Some((1, &[][..])));
+        assert_eq!(snap.section(u32::from_le_bytes(*b"ZZZZ")), None);
+        assert_eq!(snap.graph().unwrap(), g);
+        assert_eq!(snap.graph_checked().unwrap(), g);
+        // `load_binary` accepts PDEC2 and ignores unknown sections.
+        assert_eq!(load_binary(&buf).unwrap(), g);
+    }
+
+    #[test]
+    fn snapshot_without_extra_sections_round_trips() {
+        let g = CsrGraph::empty(4);
+        let mut buf = Vec::new();
+        save_snapshot(&g, &[], &mut buf).unwrap();
+        let snap = Snapshot::parse(&buf).unwrap();
+        assert_eq!(snap.sections().len(), 1);
+        assert_eq!(snap.graph().unwrap(), g);
+    }
+
+    #[test]
+    fn snapshot_parses_pdec1_as_single_graph_section() {
+        let g = generators::path(7);
+        let mut buf = Vec::new();
+        save_binary(&g, &mut buf).unwrap();
+        let snap = Snapshot::parse(&buf).unwrap();
+        assert_eq!(snap.sections().len(), 1);
+        assert_eq!(snap.sections()[0].tag, SECTION_GRAPH);
+        assert_eq!(snap.graph().unwrap(), g);
+        assert_eq!(snap.graph_checked().unwrap(), g);
+    }
+
+    /// Every proper prefix of a sectioned snapshot fails to parse — the
+    /// same promise [`binary_every_truncation_is_an_error`] makes for the
+    /// base format.
+    #[test]
+    fn snapshot_every_truncation_is_an_error() {
+        let g = generators::mesh(5, 4);
+        let extra = [SectionData {
+            tag: TAG_A,
+            version: 1,
+            payload: vec![9; 11],
+        }];
+        let mut buf = Vec::new();
+        save_snapshot(&g, &extra, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let res = Snapshot::parse(&buf[..cut]);
+            assert!(res.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_hostile_tables() {
+        let g = generators::path(3);
+        let mut buf = Vec::new();
+        save_snapshot(&g, &[], &mut buf).unwrap();
+
+        // Unsupported table version.
+        let mut bad = buf.clone();
+        bad[6] = 0xFF;
+        assert!(Snapshot::parse(&bad).is_err());
+
+        // Zero sections.
+        let mut bad = buf.clone();
+        bad[10..14].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Snapshot::parse(&bad).is_err());
+
+        // Implausible section count (also a table-size overflow probe).
+        let mut bad = buf.clone();
+        bad[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Snapshot::parse(&bad).is_err());
+
+        // Section offset pointing into the table.
+        let mut bad = buf.clone();
+        bad[22..30].copy_from_slice(&0u64.to_le_bytes());
+        assert!(Snapshot::parse(&bad).is_err());
+
+        // Section length overrunning the file.
+        let mut bad = buf.clone();
+        bad[30..38].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Snapshot::parse(&bad).is_err());
+
+        // Wrong graph tag → "no graph section".
+        let mut bad = buf.clone();
+        bad[14..18].copy_from_slice(b"XXXX");
+        assert!(Snapshot::parse(&bad).is_err());
+
+        // Unsupported graph section version parses but won't decode.
+        let mut bad = buf.clone();
+        bad[18..22].copy_from_slice(&7u32.to_le_bytes());
+        let snap = Snapshot::parse(&bad).unwrap();
+        assert!(snap.graph().is_err());
+        assert!(snap.graph_checked().is_err());
+
+        // Trailing garbage is rejected, so truncating a longer file back to
+        // a "valid" snapshot plus junk cannot succeed.
+        let mut bad = buf.clone();
+        bad.push(0);
+        assert!(Snapshot::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn snapshot_fast_path_rejects_corrupt_graph_bodies() {
+        let g = generators::mesh(4, 4);
+        let mut buf = Vec::new();
+        save_snapshot(&g, &[], &mut buf).unwrap();
+        let graph_off = Snapshot::parse(&buf).unwrap().sections()[0].offset;
+
+        // Out-of-range target: last 4 bytes of the file are the final
+        // target word.
+        let mut bad = buf.clone();
+        let end = bad.len();
+        bad[end - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Snapshot::parse(&bad).unwrap().graph().is_err());
+        assert!(Snapshot::parse(&bad).unwrap().graph_checked().is_err());
+
+        // Non-monotone offsets: clobber the second offset word with a value
+        // larger than the arc count.
+        let mut bad = buf;
+        let o1 = graph_off + 16 + 8;
+        bad[o1..o1 + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Snapshot::parse(&bad).unwrap().graph().is_err());
+        assert!(Snapshot::parse(&bad).unwrap().graph_checked().is_err());
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -280,6 +735,48 @@ mod tests {
                 let cut = ((buf.len() as f64) * frac) as usize;
                 prop_assume!(cut < buf.len());
                 prop_assert!(load_binary(&buf[..cut]).is_err());
+            }
+
+            /// PDEC2 write → parse is the identity on graph and sections,
+            /// through both read paths, for arbitrary section payloads.
+            #[test]
+            fn sectioned_snapshot_round_trips(
+                g in any_graph(),
+                payloads in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 0..64), 0..4),
+            ) {
+                let extra: Vec<SectionData> = payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| SectionData {
+                        tag: u32::from_le_bytes([b'T', b'0' + i as u8, b'0', b'0']),
+                        version: i as u32,
+                        payload: p.clone(),
+                    })
+                    .collect();
+                let mut buf = Vec::new();
+                save_snapshot(&g, &extra, &mut buf).unwrap();
+                let snap = Snapshot::parse(&buf).unwrap();
+                prop_assert_eq!(snap.sections().len(), 1 + extra.len());
+                for s in &extra {
+                    let (v, p) = snap.section(s.tag).unwrap();
+                    prop_assert_eq!(v, s.version);
+                    prop_assert_eq!(p, &s.payload[..]);
+                }
+                let fast = snap.graph().unwrap();
+                prop_assert_eq!(&fast, &g);
+                prop_assert_eq!(&snap.graph_checked().unwrap(), &fast);
+            }
+
+            /// Truncating a sectioned snapshot anywhere fails to parse.
+            #[test]
+            fn sectioned_truncation_errors(g in any_graph(), frac in 0.0f64..1.0) {
+                let extra = [SectionData { tag: TAG_A, version: 1, payload: vec![7; 9] }];
+                let mut buf = Vec::new();
+                save_snapshot(&g, &extra, &mut buf).unwrap();
+                let cut = ((buf.len() as f64) * frac) as usize;
+                prop_assume!(cut < buf.len());
+                prop_assert!(Snapshot::parse(&buf[..cut]).is_err());
             }
         }
     }

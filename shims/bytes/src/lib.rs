@@ -8,6 +8,7 @@
 pub trait Buf {
     fn remaining(&self) -> usize;
     fn advance(&mut self, cnt: usize);
+    fn get_u8(&mut self) -> u8;
     fn get_u32_le(&mut self) -> u32;
     fn get_u64_le(&mut self) -> u64;
 }
@@ -20,6 +21,12 @@ impl Buf for &[u8] {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end of buffer");
         *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
     }
 
     fn get_u32_le(&mut self) -> u32 {
@@ -38,6 +45,7 @@ impl Buf for &[u8] {
 /// Write side: an append-only sink. Implemented for `Vec<u8>`.
 pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
+    fn put_u8(&mut self, v: u8);
     fn put_u32_le(&mut self, v: u32);
     fn put_u64_le(&mut self, v: u64);
 }
@@ -45,6 +53,10 @@ pub trait BufMut {
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
     }
 
     fn put_u32_le(&mut self, v: u32) {
@@ -66,12 +78,14 @@ mod tests {
         out.put_slice(b"hdr");
         out.put_u64_le(0xdead_beef_cafe_f00d);
         out.put_u32_le(42);
+        out.put_u8(7);
 
         let mut cur: &[u8] = &out;
-        assert_eq!(cur.remaining(), 3 + 8 + 4);
+        assert_eq!(cur.remaining(), 3 + 8 + 4 + 1);
         cur.advance(3);
         assert_eq!(cur.get_u64_le(), 0xdead_beef_cafe_f00d);
         assert_eq!(cur.get_u32_le(), 42);
+        assert_eq!(cur.get_u8(), 7);
         assert_eq!(cur.remaining(), 0);
     }
 

@@ -46,10 +46,11 @@ pub use pardec_sketch as sketch;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use pardec_core::{
-        approximate_diameter, cluster, cluster2, gonzalez, hadi, kcenter, mpx, mpx_with_frontier,
-        weighted_cluster, Cluster2Result, ClusterParams, ClusterResult, Clustering, DiameterApprox,
-        DiameterParams, DistanceOracle, HadiParams, HadiResult, KCenterResult, MpxResult,
-        WeightedClustering,
+        approximate_diameter, approximate_diameter_of_clustering, cluster, cluster2, gonzalez,
+        hadi, kcenter, mpx, mpx_with_frontier, weighted_cluster, Cluster2Result, ClusterParams,
+        ClusterResult, Clustering, DiameterApprox, DiameterParams, DistanceOracle, HadiParams,
+        HadiResult, KCenterResult, MpxResult, QueryLedger, Session, SessionAlgo, SessionError,
+        SessionParams, WeightedClustering,
     };
     pub use pardec_graph::prelude::*;
     pub use pardec_mr::{MrConfig, MrEngine, MrStats};

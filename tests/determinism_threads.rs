@@ -271,3 +271,44 @@ fn parallel_bfs_matches_sequential_bfs_on_a_real_pool() {
     assert_eq!(seq.visited, par.visited);
     assert_eq!(seq.levels, par.levels);
 }
+
+#[test]
+fn serve_responses_are_byte_identical_across_pool_sizes() {
+    // The serve daemon's determinism contract: the exact response bytes —
+    // results, ledger counts, everything after the strategy byte — are
+    // independent of the worker-pool size the queries execute on.
+    use pardec::core::wire;
+
+    let g = generators::road_network(30, 30, 0.4, 9);
+    let n = g.num_nodes() as u32;
+    let session = Session::build(
+        g,
+        &SessionParams::new(6, 42).with_frontier(FrontierStrategy::TopDown),
+    );
+
+    let requests = [
+        wire::Request::Info,
+        wire::Request::Distance((0..256).map(|i| (i % n, (i * 31 + 7) % n)).collect()),
+        wire::Request::ClusterOf((0..256).map(|i| (i * 13) % n).collect()),
+        wire::Request::Eccentricity((0..64).map(|i| (i * 17 + 3) % n).collect()),
+        wire::Request::Nearest {
+            sources: (0..16).map(|i| (i * 53) % n).collect(),
+            probes: (0..256).map(|i| (i * 7 + 1) % n).collect(),
+        },
+    ];
+
+    let (one, four) = on_both_pools(|| {
+        requests
+            .iter()
+            .map(|req| wire::execute(&session, req))
+            .collect::<Vec<Vec<u8>>>()
+    });
+    assert_eq!(one, four, "serve responses diverged across pool sizes");
+
+    // And the 256-probe NEAREST batch is answered by exactly one wave.
+    let resp = pardec::core::wire::decode_response(&wire::execute(&session, &requests[4])).unwrap();
+    assert_eq!(resp.status, 0);
+    assert_eq!(resp.waves, 1, "a batch must run as one multi-source wave");
+    assert_eq!(resp.batch, 256);
+    assert!(resp.wave_rounds >= 1);
+}

@@ -1,0 +1,110 @@
+//! Property tests for the PDEC2 session snapshot and the serve wire codec:
+//! `Session::save` → `Session::load` is the identity on bytes, every strict
+//! prefix of a snapshot is an error (never a silently shorter session), and
+//! request encoding round-trips through the frame decoder.
+
+use pardec::core::wire;
+use pardec::prelude::*;
+use proptest::prelude::*;
+
+fn small_graph() -> impl Strategy<Value = CsrGraph> {
+    prop_oneof![
+        (2usize..9, 2usize..9).prop_map(|(r, c)| generators::mesh(r, c)),
+        (8usize..60, 1u64..500).prop_map(|(n, s)| generators::gnm(
+            n,
+            (n * 2).min(n * (n - 1) / 2),
+            s
+        )),
+        (2usize..40).prop_map(generators::path),
+    ]
+}
+
+fn params(tau: usize, seed: u64, oracle: bool) -> SessionParams {
+    let p = SessionParams::new(tau, seed).with_frontier(FrontierStrategy::TopDown);
+    if oracle {
+        p
+    } else {
+        p.without_oracle()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// save → load → save reproduces the exact bytes, and the reloaded
+    /// session answers a distance query identically to the original.
+    #[test]
+    fn session_snapshot_round_trips(
+        g in small_graph(),
+        tau in 1usize..6,
+        seed in any::<u64>(),
+        oracle in any::<bool>(),
+    ) {
+        let n = g.num_nodes();
+        let s = Session::build(g, &params(tau, seed, oracle));
+        let mut bytes = Vec::new();
+        s.save(&mut bytes).unwrap();
+
+        let loaded = Session::load(&bytes, FrontierStrategy::TopDown).unwrap();
+        let mut again = Vec::new();
+        loaded.save(&mut again).unwrap();
+        prop_assert_eq!(&bytes, &again, "re-saved snapshot differs");
+
+        // The checked path accepts what the fast path accepts.
+        let checked = Session::load_checked(&bytes, FrontierStrategy::TopDown).unwrap();
+        prop_assert_eq!(
+            &s.clustering().assignment,
+            &checked.clustering().assignment
+        );
+        prop_assert_eq!(s.oracle().is_some(), oracle);
+        prop_assert_eq!(loaded.oracle(), s.oracle());
+
+        if oracle && n >= 2 {
+            let q = [(0 as NodeId, (n - 1) as NodeId)];
+            let (a, _) = s.distance(&q).unwrap();
+            let (b, _) = loaded.distance(&q).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Every strict prefix of a session snapshot fails to load — a torn
+    /// write can never masquerade as a smaller valid session.
+    #[test]
+    fn session_every_truncation_errors(
+        g in (2usize..7, 2usize..7).prop_map(|(r, c)| generators::mesh(r, c)),
+        tau in 1usize..4,
+        oracle in any::<bool>(),
+    ) {
+        let s = Session::build(g, &params(tau, 7, oracle));
+        let mut bytes = Vec::new();
+        s.save(&mut bytes).unwrap();
+        for len in 0..bytes.len() {
+            prop_assert!(
+                Session::load(&bytes[..len], FrontierStrategy::TopDown).is_err(),
+                "prefix of {len}/{} bytes loaded", bytes.len()
+            );
+        }
+    }
+
+    /// The wire request codec is the identity on every batched request.
+    #[test]
+    fn wire_request_round_trips(
+        pairs in proptest::collection::vec((0u32..1000, 0u32..1000), 0..50),
+        nodes in proptest::collection::vec(0u32..1000, 0..50),
+        sources in proptest::collection::vec(0u32..1000, 0..20),
+    ) {
+        let reqs = [
+            wire::Request::Info,
+            wire::Request::Distance(pairs),
+            wire::Request::ClusterOf(nodes.clone()),
+            wire::Request::Eccentricity(nodes.clone()),
+            wire::Request::Nearest { sources, probes: nodes },
+            wire::Request::Shutdown,
+        ];
+        for req in reqs {
+            let body = wire::encode_request(&req);
+            let back = wire::decode_request(&body).expect("decode failed");
+            prop_assert_eq!(back, req);
+        }
+    }
+}
