@@ -213,6 +213,70 @@ fn send_shutdown(addr: &str) -> io::Result<()> {
     Ok(())
 }
 
+/// Queries the daemon's `OP_STATS` surface. The snapshot excludes the STATS
+/// frame itself (the server snapshots before recording it), so
+/// `total_requests` is exactly the number of previously answered frames.
+fn query_stats(addr: &str) -> io::Result<wire::StatsSnapshot> {
+    let mut stream = TcpStream::connect(addr)?;
+    let resp = wire::roundtrip(&mut stream, &wire::Request::Stats)?;
+    if resp.status != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "STATS error {}: {}",
+                resp.status,
+                resp.error_message().unwrap_or_default()
+            ),
+        ));
+    }
+    wire::decode_stats_body(&resp.body)
+}
+
+/// Emits the server-side ledger as one JSONL record and cross-checks it
+/// against the client-side request count. `exact` demands equality (a
+/// dedicated in-process daemon); external daemons may have served other
+/// clients first, so there the server count only has to cover ours.
+fn report_stats(threads: &str, stats: &wire::StatsSnapshot, client_requests: u64, exact: bool) {
+    if exact {
+        assert_eq!(
+            stats.total_requests, client_requests,
+            "server saw {} requests, client sent {client_requests}",
+            stats.total_requests
+        );
+        assert_eq!(stats.errors, 0, "server recorded errors: {stats:?}");
+    } else {
+        assert!(
+            stats.total_requests >= client_requests,
+            "server saw {} requests, client alone sent {client_requests}",
+            stats.total_requests
+        );
+    }
+    let per_op: Vec<String> = stats
+        .per_op
+        .iter()
+        .map(|op| {
+            format!(
+                "{{\"opcode\":{},\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                op.opcode,
+                op.count,
+                op.latency.percentile(50),
+                op.latency.percentile(99),
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\":\"serve\",\"threads\":\"{threads}\",\"op\":\"stats\",\
+         \"requests\":{},\"errors\":{},\"bytes_in\":{},\"bytes_out\":{},\
+         \"uptime_us\":{},\"per_op\":[{}]}}",
+        stats.total_requests,
+        stats.errors,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.uptime_us,
+        per_op.join(","),
+    );
+}
+
 fn main() {
     let cfg = parse_args();
 
@@ -230,6 +294,9 @@ fn main() {
         let shots = schedule(n, &cfg);
         let result = run_schedule(&addr, &shots).expect("run failed");
         report("external", cfg.batch, &result);
+        // The INFO probe plus every schedule frame must show up server-side.
+        let stats = query_stats(&addr).expect("STATS failed");
+        report_stats("external", &stats, 1 + shots.len() as u64, false);
         if cfg.shutdown {
             send_shutdown(&addr).expect("shutdown failed");
             eprintln!("[bench_serve] daemon shut down");
@@ -274,6 +341,11 @@ fn main() {
         let addr = handle.addr().to_string();
         let result = run_schedule(&addr, &shots).expect("run failed");
         report(&threads.to_string(), cfg.batch, &result);
+        // Server-side ledger must agree exactly with the schedule we sent.
+        // STATS responses carry timings, so they are queried after the
+        // compared schedule and never enter the byte-identity bodies below.
+        let stats = query_stats(&addr).expect("STATS failed");
+        report_stats(&threads.to_string(), &stats, shots.len() as u64, true);
         send_shutdown(&addr).expect("shutdown failed");
         handle.join();
         runs.push((threads, result));

@@ -2,44 +2,46 @@
 //! communication, and the local-memory (`M_L`) demand of CLUSTER, BFS, and
 //! HADI on the MR(M_G, M_L) emulation. This is the architecture-independent
 //! evidence behind Table 4's timings.
+//!
+//! Output is JSONL (one object per dataset × algorithm) on stdout — the
+//! same artifact shape as `bench_serve`, ready for CI upload. Progress and
+//! commentary go to stderr.
 
-use pardec_bench::{report::Table, scale_from_args, workloads};
+use pardec_bench::{scale_from_args, workloads};
 use pardec_core::hadi::mr_hadi;
 use pardec_core::mr_impl::{mr_bfs, mr_cluster};
 use pardec_core::{ClusterParams, HadiParams};
 use pardec_mr::MrStats;
 
+/// One JSONL record: identity, round count, and the full ledger split into
+/// map-side (pre-combine) and shuffled (post-combine) pairs/bytes.
+fn emit(dataset: &str, algo: &str, rounds: usize, stats: &MrStats) {
+    println!(
+        "{{\"bench\":\"mr_accounting\",\"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
+         \"rounds\":{rounds},\"map_pairs\":{},\"shuffled_pairs\":{},\
+         \"map_bytes\":{},\"shuffled_bytes\":{},\"peak_round_pairs\":{},\"peak_ml\":{}}}",
+        stats.total_map_pairs(),
+        stats.total_pairs(),
+        stats.total_map_bytes(),
+        stats.total_bytes(),
+        stats.max_round_pairs(),
+        stats.max_local_memory(),
+    );
+}
+
 fn main() {
     let scale = scale_from_args();
-    println!("MR accounting: rounds / volume / M_L demand (scale {scale:?})\n");
-    let mut t = Table::new([
-        "dataset",
-        "algo",
-        "rounds",
-        "total pairs",
-        "peak round pairs",
-        "peak M_L",
-    ]);
-    let fmt = |name: &str, algo: &str, rounds: usize, stats: &MrStats, t: &mut Table| {
-        t.row([
-            name.to_string(),
-            algo.to_string(),
-            rounds.to_string(),
-            stats.total_pairs().to_string(),
-            stats.max_round_pairs().to_string(),
-            stats.max_local_memory().to_string(),
-        ]);
-    };
+    eprintln!("[mr_accounting] rounds / volume / M_L demand (scale {scale:?})");
     for d in workloads::datasets(scale) {
         let g = &d.graph;
         let n = g.num_nodes();
         let tau = workloads::tau_for_target(n, (n / 100).max(120));
 
         let r = mr_cluster(g, &ClusterParams::new(tau, 11));
-        fmt(d.name, "CLUSTER", r.supersteps, &r.stats, &mut t);
+        emit(d.name, "CLUSTER", r.supersteps, &r.stats);
 
         let b = mr_bfs(g, 0);
-        fmt(d.name, "BFS", b.supersteps, &b.stats, &mut t);
+        emit(d.name, "BFS", b.supersteps, &b.stats);
 
         let mut p = HadiParams::new(11);
         p.trials = if matches!(scale, workloads::Scale::Ci) {
@@ -48,10 +50,9 @@ fn main() {
             4
         };
         let (h, stats) = mr_hadi(g, &p);
-        fmt(d.name, "HADI", h.iterations, &stats, &mut t);
+        emit(d.name, "HADI", h.iterations, &stats);
         eprintln!("[mr_accounting] {} done", d.name);
     }
-    t.print();
-    println!("\n§5 shape: CLUSTER rounds ≪ BFS ≈ HADI rounds ≈ Δ; CLUSTER and BFS move");
-    println!("O(m) pairs in aggregate, HADI moves Θ(m) pairs per round.");
+    eprintln!("[mr_accounting] §5 shape: CLUSTER rounds ≪ BFS ≈ HADI rounds ≈ Δ;");
+    eprintln!("[mr_accounting] CLUSTER/BFS move O(m) pairs total, HADI Θ(m) per round.");
 }

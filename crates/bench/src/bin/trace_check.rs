@@ -1,0 +1,90 @@
+//! **trace_check** — validates `--trace` / `PARDEC_TRACE` JSONL files: every
+//! line must parse as a self-contained JSON object carrying the mandatory
+//! event keys (`type`, `name`, `thread`, `seq`, `at_us`). Prints one summary
+//! line per file and exits nonzero on the first malformed line, with a
+//! `file:line:` diagnostic. CI runs this over the trace artifact produced by
+//! the `PARDEC_TRACE` smoke leg.
+
+use std::process::ExitCode;
+
+const REQUIRED_KEYS: &[&str] = &["type", "name", "thread", "seq", "at_us"];
+
+/// Validates one trace file, returning the number of events it holds.
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let keys =
+            pardec_obs::validate_object(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        for required in REQUIRED_KEYS {
+            if !keys.iter().any(|k| k == required) {
+                return Err(format!("{path}:{}: missing key {required:?}", i + 1));
+            }
+        }
+        events += 1;
+    }
+    if events == 0 {
+        return Err(format!("{path}: no trace events"));
+    }
+    Ok(events)
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.jsonl> [<trace.jsonl> ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check_file(path) {
+            Ok(n) => println!("{path}: {n} events ok"),
+            Err(e) => {
+                eprintln!("trace_check: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: &str) -> String {
+        let path =
+            std::env::temp_dir().join(format!("pardec-trace-check-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn accepts_valid_lines() {
+        let good =
+            "{\"type\":\"span\",\"name\":\"x\",\"thread\":0,\"seq\":1,\"at_us\":2,\"dur_us\":3}\n";
+        let path = tmp("good.jsonl", &good.repeat(3));
+        assert_eq!(check_file(&path).unwrap(), 3);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_bad_json_missing_keys_and_empty() {
+        let path = tmp("broken.jsonl", "{\"type\":\"span\",");
+        assert!(check_file(&path).unwrap_err().contains(":1:"));
+        let _ = std::fs::remove_file(path);
+        let path = tmp("missing.jsonl", "{\"type\":\"span\",\"name\":\"x\"}\n");
+        assert!(check_file(&path).unwrap_err().contains("missing key"));
+        let _ = std::fs::remove_file(path);
+        let path = tmp("empty.jsonl", "");
+        assert!(check_file(&path).unwrap_err().contains("no trace events"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -11,7 +11,9 @@
 //! | `table4` | Table 4 — time/estimate vs BFS and HADI (MR emulation) |
 //! | `figure1` | Figure 1 — CLUSTER/BFS time vs appended chain length |
 //! | `ablation_radius` | extra — Lemma 1 radius-vs-τ shape |
-//! | `mr_accounting` | extra — §5 round/communication ledger |
+//! | `mr_accounting` | extra — §5 round/communication ledger (JSONL) |
+//! | `bench_serve` | extra — serve-daemon load generator (JSONL) |
+//! | `trace_check` | extra — validates `--trace` JSONL artifacts |
 //!
 //! Every binary accepts `--scale {ci,default,full}` (or the `PARDEC_SCALE`
 //! environment variable); `ci` keeps the full suite within a couple of

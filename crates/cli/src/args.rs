@@ -84,6 +84,7 @@ const VALUED_KEYS: &[&str] = &[
     "snapshot",
     "addr",
     "accept-threads",
+    "trace",
 ];
 
 impl Args {
@@ -196,6 +197,14 @@ impl Args {
                 }),
             },
         }
+    }
+
+    /// The `--trace` option: JSONL trace output path, `None` when
+    /// unspecified (tracing then follows `PARDEC_TRACE`, falling back to
+    /// off). The trace is a side channel — results are byte-identical with
+    /// tracing on, off, or absent.
+    pub fn trace(&self) -> Option<&str> {
+        self.options.get("trace").map(String::as_str)
     }
 
     /// The `--threads` option: requested worker count for the global pool,
@@ -320,6 +329,19 @@ mod tests {
         assert_eq!(
             parse("mr-cluster --partitions").unwrap_err(),
             ArgError::MissingValue("partitions".into())
+        );
+    }
+
+    #[test]
+    fn trace_option() {
+        assert_eq!(parse("stats --graph g").unwrap().trace(), None);
+        assert_eq!(
+            parse("stats --graph g --trace t.jsonl").unwrap().trace(),
+            Some("t.jsonl")
+        );
+        assert_eq!(
+            parse("stats --trace").unwrap_err(),
+            ArgError::MissingValue("trace".into())
         );
     }
 

@@ -33,6 +33,8 @@ global options:
   --partitions P  shuffle/superstep partition count of the MR emulation
                   (default: PARDEC_PARTITIONS, else 4 x pool threads;
                   shapes the communication ledger, never results)
+  --trace FILE    write a JSONL span/metric trace to FILE at exit
+                  (default: PARDEC_TRACE, else off; never changes results)
 
 command tree:
   generate        --family mesh|torus|road|social|ba|gnm|lollipop
@@ -759,6 +761,7 @@ mod tests {
         dispatch(&args("help")).unwrap();
         assert!(USAGE.contains("--threads"));
         assert!(USAGE.contains("--frontier"));
+        assert!(USAGE.contains("--trace"));
     }
 
     #[test]

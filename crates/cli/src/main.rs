@@ -30,6 +30,9 @@
 //! `PDEC2` form `serve` loads. All commands are seeded (`--seed`, default
 //! 42) and reproducible: results are byte-identical regardless of
 //! `--threads` / `RAYON_NUM_THREADS`.
+//!
+//! `--trace FILE` (or `PARDEC_TRACE=FILE`) writes a JSONL span/metric trace
+//! at exit; the trace is a side channel and never perturbs results.
 
 mod args;
 mod commands;
@@ -53,7 +56,23 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
-    match commands::dispatch(&args) {
+    // Tracing is a pure side channel: stdout and all results stay
+    // byte-identical whether it is on, off, or absent.
+    let trace_path = args
+        .trace()
+        .map(str::to_string)
+        .or_else(pardec_obs::trace_path_from_env);
+    if trace_path.is_some() {
+        pardec_obs::enable();
+    }
+    let outcome = commands::dispatch(&args);
+    if let Some(path) = &trace_path {
+        match pardec_obs::flush_to_path(path) {
+            Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

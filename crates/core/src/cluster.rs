@@ -132,6 +132,11 @@ pub fn cluster(g: &CsrGraph, params: &ClusterParams) -> ClusterResult {
     let max_iterations = (2.0 * logn) as usize + 32;
 
     while (eng.uncovered() as f64) >= threshold && trace.iterations.len() < max_iterations {
+        let mut round_span = pardec_obs::span!(
+            "cluster.round",
+            round = trace.iterations.len(),
+            uncovered = eng.uncovered(),
+        );
         let uncovered_before = eng.uncovered();
         let p = (params.batch_factor * params.tau as f64 * logn / uncovered_before as f64)
             .clamp(0.0, 1.0);
@@ -172,6 +177,9 @@ pub fn cluster(g: &CsrGraph, params: &ClusterParams) -> ClusterResult {
                 break;
             }
         }
+        round_span.field("new_centers", new_centers);
+        round_span.field("growth_steps", growth_steps);
+        round_span.field("covered", covered_this);
         trace.iterations.push(IterationTrace {
             uncovered_before,
             new_centers,

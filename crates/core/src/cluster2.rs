@@ -60,6 +60,12 @@ pub fn cluster2(g: &CsrGraph, params: &ClusterParams) -> Cluster2Result {
         if eng.uncovered() == 0 {
             break;
         }
+        let mut round_span = pardec_obs::span!(
+            "cluster2.round",
+            round = i,
+            uncovered = eng.uncovered(),
+            budget = budget,
+        );
         let uncovered_before = eng.uncovered();
         let p = (2f64.powi(i as i32) / n.max(1) as f64).clamp(0.0, 1.0);
         let batch: Vec<NodeId> = eng
@@ -83,6 +89,9 @@ pub fn cluster2(g: &CsrGraph, params: &ClusterParams) -> Cluster2Result {
             covered_this += eng.step();
             growth_steps += 1;
         }
+        round_span.field("new_centers", new_centers);
+        round_span.field("growth_steps", growth_steps);
+        round_span.field("covered", covered_this);
         trace.iterations.push(IterationTrace {
             uncovered_before,
             new_centers,

@@ -78,16 +78,23 @@ pub fn mpx_with_frontier(
     let mut t = 0u32;
     let mut steps = 0usize;
     while eng.uncovered() > 0 {
+        let mut round_span =
+            pardec_obs::span!("mpx.round", round = t, uncovered = eng.uncovered(),);
         // Activate every node whose start time has arrived and that is
         // still uncovered.
+        let mut activated = 0usize;
         while next < schedule.len() && schedule[next].0 <= t {
-            eng.add_center(schedule[next].1);
+            if eng.add_center(schedule[next].1) {
+                activated += 1;
+            }
             next += 1;
         }
         if eng.frontier_len() > 0 {
             eng.step();
             steps += 1;
         }
+        round_span.field("activated", activated);
+        round_span.field("frontier", eng.frontier_len());
         t += 1;
     }
     MpxResult {

@@ -155,6 +155,18 @@ impl QueryLedger {
     }
 }
 
+impl pardec_obs::Observe for QueryLedger {
+    fn scope(&self) -> &'static str {
+        "session.query"
+    }
+    fn observe(&self, m: &mut pardec_obs::Metrics) {
+        m.counter("batch", self.batch as u64);
+        m.counter("waves", self.waves as u64);
+        m.counter("wave_rounds", self.wave_rounds as u64);
+        m.label("strategy", self.strategy.name());
+    }
+}
+
 /// Errors a query batch can raise (the wire layer maps these to error
 /// codes).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -192,6 +204,11 @@ impl Session {
     /// Runs the decomposition (and optionally the oracle construction) on
     /// `graph`, producing a resident session.
     pub fn build(graph: CsrGraph, params: &SessionParams) -> Session {
+        let mut build_span = pardec_obs::span!(
+            "session.build",
+            nodes = graph.num_nodes(),
+            oracle = params.build_oracle,
+        );
         let cp = ClusterParams::new(params.tau.max(1), params.seed).with_frontier(params.frontier);
         let (clustering, growth_steps) = match params.algo {
             SessionAlgo::Cluster => {
@@ -213,6 +230,8 @@ impl Session {
         let oracle = params
             .build_oracle
             .then(|| DistanceOracle::from_clustering(&graph, &clustering));
+        build_span.field("clusters", clustering.num_clusters());
+        build_span.field("growth_steps", growth_steps);
         Session {
             graph,
             clustering,
@@ -306,7 +325,9 @@ impl Session {
             self.check_node(v)?;
             out.push(oracle.query(u, v));
         }
-        Ok((out, QueryLedger::lookup(pairs.len(), self.frontier)))
+        let ledger = QueryLedger::lookup(pairs.len(), self.frontier);
+        pardec_obs::record(&ledger);
+        Ok((out, ledger))
     }
 
     /// Batched cluster-membership lookups.
@@ -316,7 +337,9 @@ impl Session {
             self.check_node(v)?;
             out.push(self.clustering.assignment[v as usize]);
         }
-        Ok((out, QueryLedger::lookup(nodes.len(), self.frontier)))
+        let ledger = QueryLedger::lookup(nodes.len(), self.frontier);
+        pardec_obs::record(&ledger);
+        Ok((out, ledger))
     }
 
     /// Batched per-node eccentricity upper bounds (within each node's
@@ -328,7 +351,9 @@ impl Session {
             self.check_node(v)?;
             out.push(oracle.eccentricity_bound(v));
         }
-        Ok((out, QueryLedger::lookup(nodes.len(), self.frontier)))
+        let ledger = QueryLedger::lookup(nodes.len(), self.frontier);
+        pardec_obs::record(&ledger);
+        Ok((out, ledger))
     }
 
     /// Batched nearest-source queries, answered by **one** multi-source
@@ -354,7 +379,9 @@ impl Session {
         }
         if sources.is_empty() {
             let out = vec![(INVALID_NODE, INFINITE_DIST); probes.len()];
-            return Ok((out, QueryLedger::lookup(probes.len(), self.frontier)));
+            let ledger = QueryLedger::lookup(probes.len(), self.frontier);
+            pardec_obs::record(&ledger);
+            return Ok((out, ledger));
         }
         let mut engine = FrontierEngine::new(&self.graph, self.frontier);
         for &s in sources {
@@ -374,15 +401,14 @@ impl Session {
                 }
             })
             .collect();
-        Ok((
-            out,
-            QueryLedger {
-                batch: probes.len() as u32,
-                waves: 1,
-                wave_rounds: rounds,
-                strategy: self.frontier,
-            },
-        ))
+        let ledger = QueryLedger {
+            batch: probes.len() as u32,
+            waves: 1,
+            wave_rounds: rounds,
+            strategy: self.frontier,
+        };
+        pardec_obs::record(&ledger);
+        Ok((out, ledger))
     }
 
     /// The §4 diameter bounds of the resident clustering — the same numbers
@@ -436,6 +462,8 @@ impl Session {
     }
 
     fn load_with(bytes: &[u8], frontier: FrontierStrategy, checked: bool) -> io::Result<Session> {
+        let mut load_span =
+            pardec_obs::span!("snapshot.load", bytes = bytes.len(), checked = checked,);
         let snap = Snapshot::parse(bytes)?;
         let graph = if checked {
             snap.graph_checked()?
@@ -465,6 +493,8 @@ impl Session {
                 Some(decode_oracle(body, &clustering)?)
             }
         };
+        load_span.field("nodes", graph.num_nodes());
+        load_span.field("oracle", oracle.is_some());
         Session::from_parts(graph, clustering, oracle, frontier, growth_steps).map_err(data_err)
     }
 }

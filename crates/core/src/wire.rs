@@ -24,6 +24,7 @@
 //! | `0x04` | `ECC` | `count u32, count × v u32` |
 //! | `0x05` | `NEAREST` | `n_sources u32, n_probes u32, sources, probes` |
 //! | `0x06` | `SHUTDOWN` | — |
+//! | `0x07` | `STATS` | — |
 //!
 //! ## Responses
 //!
@@ -46,6 +47,25 @@
 //! | `ECC` | `count × u64` |
 //! | `NEAREST` | `n_probes × (source u32, dist u32)` (`0xFFFFFFFF` = unreached) |
 //! | `SHUTDOWN` | — |
+//! | `STATS` | see below |
+//!
+//! `STATS` is answered by the **server loop** (not [`execute`] — the
+//! counters live with the daemon, not the session) from its running
+//! [`ServerStats`]. Body layout (all integers LE):
+//!
+//! ```text
+//! uptime_us u64 | total_requests u64 | errors u64 | bytes_in u64 |
+//! bytes_out u64 | n_ops u8 | n_ops × op-entry
+//! op-entry: opcode u8 | count u64 | hist_count u64 | hist_sum u64 |
+//!           n_buckets u8 (= 65) | 65 × bucket u64
+//! ```
+//!
+//! Op entries appear in ascending opcode order, only for opcodes seen at
+//! least once (slot `0` aggregates frames whose opcode never decoded). The
+//! per-op histogram is a [`pardec_obs`] log2 latency histogram of request
+//! handling micros — p50/p90/p99 are integer bucket bounds, no floats on
+//! the wire. `total_requests` counts requests answered **before** the
+//! `STATS` request itself, so an idle daemon reports 0 on first query.
 //!
 //! Error responses carry the code in `status`, a zero ledger, and a UTF-8
 //! message as the body:
@@ -77,11 +97,13 @@ use crate::session::{QueryLedger, Session, SessionError};
 use bytes::{Buf, BufMut};
 use pardec_graph::frontier::FrontierStrategy;
 use pardec_graph::NodeId;
+use pardec_obs::{AtomicLog2Histogram, Log2Histogram, BUCKETS};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Hard cap on a frame body (16 MiB) — a batch of ~1M distance pairs.
 pub const MAX_FRAME: u32 = 16 << 20;
@@ -93,6 +115,7 @@ pub const OP_CLUSTER_OF: u8 = 0x03;
 pub const OP_ECC: u8 = 0x04;
 pub const OP_NEAREST: u8 = 0x05;
 pub const OP_SHUTDOWN: u8 = 0x06;
+pub const OP_STATS: u8 = 0x07;
 
 /// Error codes carried in a response's `status` byte.
 pub const ERR_MALFORMED: u8 = 1;
@@ -122,6 +145,9 @@ pub enum Request {
     },
     /// Stop the daemon after acknowledging.
     Shutdown,
+    /// Daemon-side request counters + latency histograms (answered by the
+    /// server loop, not the session).
+    Stats,
 }
 
 impl Request {
@@ -134,6 +160,7 @@ impl Request {
             Request::Eccentricity(_) => OP_ECC,
             Request::Nearest { .. } => OP_NEAREST,
             Request::Shutdown => OP_SHUTDOWN,
+            Request::Stats => OP_STATS,
         }
     }
 }
@@ -216,7 +243,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.put_u8(req.opcode());
     match req {
-        Request::Info | Request::Shutdown => {}
+        Request::Info | Request::Shutdown | Request::Stats => {}
         Request::Distance(pairs) => {
             buf.put_u32_le(pairs.len() as u32);
             for &(u, v) in pairs {
@@ -291,6 +318,10 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
         OP_SHUTDOWN => {
             expect_len(buf, 0, "SHUTDOWN", opcode)?;
             Ok(Request::Shutdown)
+        }
+        OP_STATS => {
+            expect_len(buf, 0, "STATS", opcode)?;
+            Ok(Request::Stats)
         }
         OP_DIST => {
             if buf.remaining() < 4 {
@@ -426,6 +457,14 @@ pub fn execute(session: &Session, req: &Request) -> Vec<u8> {
             }),
             &[],
         ),
+        // The counters live with the running daemon, not the session;
+        // `execute` stays pure, so a bare session cannot answer STATS.
+        Request::Stats => response_frame(
+            ERR_INTERNAL,
+            opcode,
+            None,
+            b"STATS is answered by the server loop, not a bare session",
+        ),
         Request::Distance(pairs) => match session.distance(pairs) {
             Err(e) => session_error_frame(opcode, &e),
             Ok((dists, ledger)) => {
@@ -486,6 +525,198 @@ pub fn answer(session: &Session, frame: &[u8]) -> (Vec<u8>, bool) {
 }
 
 // ---------------------------------------------------------------------
+// Server-side stats (the STATS surface)
+// ---------------------------------------------------------------------
+
+/// Slots in the per-opcode table: index 0 aggregates frames whose opcode
+/// never decoded; indices 1..=7 are the opcodes themselves.
+const NUM_OP_SLOTS: usize = OP_STATS as usize + 1;
+
+struct OpSlot {
+    count: AtomicU64,
+    latency: AtomicLog2Histogram,
+}
+
+/// Live request counters of a running daemon: relaxed atomics shared by all
+/// accept threads, so recording never perturbs request handling. Snapshot
+/// with [`ServerStats::snapshot`]; ship with [`encode_stats_body`].
+pub struct ServerStats {
+    started: Instant,
+    total_requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    per_op: [OpSlot; NUM_OP_SLOTS],
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerStats {
+    /// Fresh counters; `uptime_us` is measured from this call.
+    pub fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            total_requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            per_op: std::array::from_fn(|_| OpSlot {
+                count: AtomicU64::new(0),
+                latency: AtomicLog2Histogram::new(),
+            }),
+        }
+    }
+
+    /// Records one answered frame. `opcode` 0 (or out of table range) lands
+    /// in the undecodable slot; `micros` is wall time from frame decode to
+    /// response write.
+    pub fn record(&self, opcode: u8, ok: bool, bytes_in: u64, bytes_out: u64, micros: u64) {
+        let slot = if (opcode as usize) < NUM_OP_SLOTS {
+            opcode as usize
+        } else {
+            0
+        };
+        self.total_requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.per_op[slot].count.fetch_add(1, Ordering::Relaxed);
+        self.per_op[slot].latency.record(micros);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let per_op = self
+            .per_op
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count.load(Ordering::Relaxed) > 0)
+            .map(|(op, s)| OpStats {
+                opcode: op as u8,
+                count: s.count.load(Ordering::Relaxed),
+                latency: s.latency.snapshot(),
+            })
+            .collect();
+        StatsSnapshot {
+            uptime_us: self.started.elapsed().as_micros() as u64,
+            total_requests: self.total_requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            per_op,
+        }
+    }
+}
+
+/// Per-opcode slice of a [`StatsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpStats {
+    /// Request opcode (0 = frames whose opcode never decoded).
+    pub opcode: u8,
+    /// Frames answered under this opcode.
+    pub count: u64,
+    /// Request-handling latency distribution, in microseconds.
+    pub latency: Log2Histogram,
+}
+
+/// What a `STATS` response carries (see the module docs for the layout).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Microseconds since the daemon started.
+    pub uptime_us: u64,
+    /// Frames answered before this snapshot (the STATS frame itself is
+    /// recorded only after its response is written).
+    pub total_requests: u64,
+    /// Of those, how many were answered with a non-zero status.
+    pub errors: u64,
+    /// Wire bytes received (frames + length prefixes).
+    pub bytes_in: u64,
+    /// Wire bytes sent (frames + length prefixes).
+    pub bytes_out: u64,
+    /// Per-opcode counts + latency histograms, ascending opcode, seen
+    /// opcodes only.
+    pub per_op: Vec<OpStats>,
+}
+
+/// Encodes a stats snapshot into a `STATS` response body.
+pub fn encode_stats_body(s: &StatsSnapshot) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(41 + s.per_op.len() * (26 + BUCKETS * 8));
+    buf.put_u64_le(s.uptime_us);
+    buf.put_u64_le(s.total_requests);
+    buf.put_u64_le(s.errors);
+    buf.put_u64_le(s.bytes_in);
+    buf.put_u64_le(s.bytes_out);
+    buf.put_u8(s.per_op.len() as u8);
+    for op in &s.per_op {
+        buf.put_u8(op.opcode);
+        buf.put_u64_le(op.count);
+        buf.put_u64_le(op.latency.count());
+        buf.put_u64_le(op.latency.sum());
+        buf.put_u8(BUCKETS as u8);
+        for &c in op.latency.counts() {
+            buf.put_u64_le(c);
+        }
+    }
+    buf
+}
+
+/// Decodes a `STATS` response body (client side).
+pub fn decode_stats_body(body: &[u8]) -> io::Result<StatsSnapshot> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("STATS body: {msg}"));
+    let mut buf = body;
+    if buf.remaining() < 41 {
+        return Err(bad("shorter than its fixed header"));
+    }
+    let uptime_us = buf.get_u64_le();
+    let total_requests = buf.get_u64_le();
+    let errors = buf.get_u64_le();
+    let bytes_in = buf.get_u64_le();
+    let bytes_out = buf.get_u64_le();
+    let n_ops = buf.get_u8() as usize;
+    if buf.remaining() != n_ops * (26 + BUCKETS * 8) {
+        return Err(bad("op table length mismatch"));
+    }
+    let mut per_op = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let opcode = buf.get_u8();
+        let count = buf.get_u64_le();
+        let hist_count = buf.get_u64_le();
+        let hist_sum = buf.get_u64_le();
+        if buf.get_u8() as usize != BUCKETS {
+            return Err(bad("unexpected bucket count"));
+        }
+        let mut counts = [0u64; BUCKETS];
+        for c in counts.iter_mut() {
+            *c = buf.get_u64_le();
+        }
+        per_op.push(OpStats {
+            opcode,
+            count,
+            latency: Log2Histogram::from_parts(counts, hist_count, hist_sum),
+        });
+    }
+    Ok(StatsSnapshot {
+        uptime_us,
+        total_requests,
+        errors,
+        bytes_in,
+        bytes_out,
+        per_op,
+    })
+}
+
+/// Builds the full `STATS` response frame (status 0, zero ledger).
+pub fn stats_response_frame(s: &StatsSnapshot) -> Vec<u8> {
+    response_frame(0, OP_STATS, None, &encode_stats_body(s))
+}
+
+// ---------------------------------------------------------------------
 // Server loop
 // ---------------------------------------------------------------------
 
@@ -494,12 +725,19 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with an ephemeral port 0 bind).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A point-in-time copy of the daemon's request counters — the same
+    /// numbers an `OP_STATS` request reads over the wire.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// Requests shutdown and unblocks every acceptor.
@@ -521,7 +759,11 @@ impl ServerHandle {
     }
 }
 
-fn handle_connection(session: &Session, stream: &mut TcpStream) -> io::Result<bool> {
+fn handle_connection(
+    session: &Session,
+    stats: &ServerStats,
+    stream: &mut TcpStream,
+) -> io::Result<bool> {
     stream.set_nodelay(true).ok();
     loop {
         let frame = match read_frame(stream) {
@@ -532,12 +774,49 @@ fn handle_connection(session: &Session, stream: &mut TcpStream) -> io::Result<bo
                 // drop the connection (the stream is no longer in sync).
                 let resp = response_frame(ERR_FRAME_TOO_LARGE, 0, None, e.to_string().as_bytes());
                 write_frame(stream, &resp)?;
+                stats.record(0, false, 4, 4 + resp.len() as u64, 0);
                 return Ok(false);
             }
             Err(e) => return Err(e),
         };
-        let (resp, shutdown) = answer(session, &frame);
+        let started = Instant::now();
+        let mut req_span = pardec_obs::span!("serve.request", bytes_in = frame.len());
+        // STATS is answered here, from the daemon's counters, with the
+        // snapshot taken *before* this frame is recorded — `total_requests`
+        // is exactly the number of previously answered frames. Everything
+        // else goes through the pure `execute` path.
+        let (resp, shutdown, opcode, ok) = match decode_request(&frame) {
+            Ok(Request::Stats) => (
+                stats_response_frame(&stats.snapshot()),
+                false,
+                OP_STATS,
+                true,
+            ),
+            Ok(req) => {
+                let shutdown = req == Request::Shutdown;
+                let resp = execute(session, &req);
+                let ok = resp.first() == Some(&0);
+                (resp, shutdown, req.opcode(), ok)
+            }
+            Err(e) => (
+                response_frame(e.code, e.opcode, None, e.message.as_bytes()),
+                false,
+                e.opcode,
+                false,
+            ),
+        };
         write_frame(stream, &resp)?;
+        req_span.field("opcode", opcode);
+        req_span.field("ok", ok);
+        req_span.field("bytes_out", resp.len());
+        drop(req_span);
+        stats.record(
+            opcode,
+            ok,
+            4 + frame.len() as u64,
+            4 + resp.len() as u64,
+            started.elapsed().as_micros() as u64,
+        );
         if shutdown {
             return Ok(true);
         }
@@ -558,14 +837,16 @@ pub fn serve(
 ) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::new());
     let listener = Arc::new(listener);
     let mut handles = Vec::new();
     for i in 0..threads.max(1) {
-        let (listener, session, pool, stop) = (
+        let (listener, session, pool, stop, stats) = (
             listener.clone(),
             session.clone(),
             pool.clone(),
             stop.clone(),
+            stats.clone(),
         );
         handles.push(
             std::thread::Builder::new()
@@ -579,7 +860,7 @@ pub fn serve(
                             break;
                         }
                         let wants_shutdown = pool
-                            .install(|| handle_connection(&session, &mut stream))
+                            .install(|| handle_connection(&session, &stats, &mut stream))
                             .unwrap_or(false);
                         if wants_shutdown {
                             stop.store(true, Ordering::SeqCst);
@@ -596,6 +877,7 @@ pub fn serve(
         addr,
         stop,
         threads: handles,
+        stats,
     })
 }
 
@@ -635,6 +917,7 @@ mod tests {
                 sources: vec![0],
                 probes: vec![0, 1],
             },
+            Request::Stats,
         ];
         for req in reqs {
             let body = encode_request(&req);
@@ -659,6 +942,129 @@ mod tests {
         );
         assert_eq!(encode_request(&Request::Info), [0x01]);
         assert_eq!(encode_request(&Request::Shutdown), [0x06]);
+        assert_eq!(encode_request(&Request::Stats), [0x07]);
+    }
+
+    #[test]
+    fn stats_body_codec_round_trips() {
+        let mut latency = Log2Histogram::new();
+        latency.record(12);
+        latency.record(900);
+        latency.record(0);
+        let snap = StatsSnapshot {
+            uptime_us: 123_456,
+            total_requests: 3,
+            errors: 1,
+            bytes_in: 64,
+            bytes_out: 512,
+            per_op: vec![
+                OpStats {
+                    opcode: 0,
+                    count: 1,
+                    latency: Log2Histogram::new(),
+                },
+                OpStats {
+                    opcode: OP_NEAREST,
+                    count: 2,
+                    latency,
+                },
+            ],
+        };
+        let body = encode_stats_body(&snap);
+        assert_eq!(decode_stats_body(&body).unwrap(), snap);
+        // Truncations and bad bucket counts are refused, never panic.
+        for cut in [0, 10, 40, body.len() - 1] {
+            assert!(decode_stats_body(&body[..cut]).is_err(), "cut {cut}");
+        }
+        let mut wrong = body.clone();
+        wrong[41 + 25] = 7; // n_buckets of the first op entry
+        assert!(decode_stats_body(&wrong).is_err());
+    }
+
+    #[test]
+    fn golden_stats_response_bytes() {
+        // An idle daemon's snapshot: no per-op entries, all counters zero
+        // except uptime. Frame = status 0, opcode 0x07, zero ledger, then
+        // the 41-byte fixed stats header.
+        let snap = StatsSnapshot {
+            uptime_us: 2,
+            total_requests: 0,
+            errors: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            per_op: Vec::new(),
+        };
+        #[rustfmt::skip]
+        let expected = [
+            0u8,        // status ok
+            0x07,       // opcode echo
+            0, 0, 0, 0, // batch = 0
+            0, 0, 0, 0, // waves = 0
+            0, 0, 0, 0, // rounds = 0
+            0,          // strategy = 0 (no ledger)
+            2, 0, 0, 0, 0, 0, 0, 0, // uptime_us = 2
+            0, 0, 0, 0, 0, 0, 0, 0, // total_requests
+            0, 0, 0, 0, 0, 0, 0, 0, // errors
+            0, 0, 0, 0, 0, 0, 0, 0, // bytes_in
+            0, 0, 0, 0, 0, 0, 0, 0, // bytes_out
+            0,          // n_ops
+        ];
+        assert_eq!(stats_response_frame(&snap), expected);
+    }
+
+    #[test]
+    fn stats_over_a_live_daemon() {
+        let session = Arc::new(tiny_session());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(2)
+                .build()
+                .unwrap(),
+        );
+        let handle = serve(listener, session, pool, 2).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+        // A fresh daemon has answered nothing.
+        let first = roundtrip(&mut stream, &Request::Stats).unwrap();
+        assert_eq!(first.status, 0);
+        assert_eq!(first.opcode, OP_STATS);
+        let snap = decode_stats_body(&first.body).unwrap();
+        assert_eq!(snap.total_requests, 0);
+        assert!(snap.per_op.is_empty());
+
+        // Three queries (one of them failing) + the prior STATS frame.
+        roundtrip(&mut stream, &Request::Info).unwrap();
+        roundtrip(&mut stream, &Request::ClusterOf(vec![0, 1])).unwrap();
+        let err = roundtrip(&mut stream, &Request::ClusterOf(vec![99])).unwrap();
+        assert_eq!(err.status, ERR_OUT_OF_RANGE);
+
+        let second = roundtrip(&mut stream, &Request::Stats).unwrap();
+        let snap = decode_stats_body(&second.body).unwrap();
+        assert_eq!(snap.total_requests, 4);
+        assert_eq!(snap.errors, 1);
+        assert!(snap.bytes_in > 0 && snap.bytes_out > 0);
+        let by_op: Vec<(u8, u64)> = snap.per_op.iter().map(|o| (o.opcode, o.count)).collect();
+        assert_eq!(by_op, [(OP_INFO, 1), (OP_CLUSTER_OF, 2), (OP_STATS, 1)]);
+        for op in &snap.per_op {
+            assert_eq!(op.latency.count(), op.count);
+        }
+        // The in-process view agrees with the wire view (modulo the frames
+        // answered since).
+        assert!(handle.stats().total_requests >= snap.total_requests);
+
+        let bye = roundtrip(&mut stream, &Request::Shutdown).unwrap();
+        assert_eq!(bye.status, 0);
+        drop(stream);
+        handle.join();
+    }
+
+    #[test]
+    fn stats_against_bare_session_is_internal_error() {
+        let s = tiny_session();
+        let resp = decode_response(&execute(&s, &Request::Stats)).unwrap();
+        assert_eq!(resp.status, ERR_INTERNAL);
+        assert!(resp.error_message().unwrap().contains("server loop"));
     }
 
     #[test]

@@ -79,6 +79,18 @@ impl CombineStats {
     }
 }
 
+impl pardec_obs::Observe for CombineStats {
+    fn scope(&self) -> &'static str {
+        "combine"
+    }
+    fn observe(&self, m: &mut pardec_obs::Metrics) {
+        m.counter("input_pairs", self.input_pairs as u64);
+        m.counter("output_pairs", self.output_pairs as u64);
+        m.counter("buckets", self.buckets as u64);
+        m.gauge("combine_ratio", self.combine_ratio());
+    }
+}
+
 /// Packs an ordered pair of node ids into one `u64` key (`hi` in the upper
 /// 32 bits). Keys compare like `(hi, lo)` tuples.
 #[inline]
@@ -289,6 +301,7 @@ where
             output_pairs: items.len(),
             buckets: 1,
         };
+        pardec_obs::record(&stats);
         return (items, stats);
     }
 
@@ -306,6 +319,7 @@ where
     let chunk_size = input_pairs.div_ceil(grid(input_pairs)).max(1);
 
     // Pass 1 — count: per-chunk histograms of destination buckets.
+    let count_span = pardec_obs::span!("combine.count", pairs = input_pairs, buckets = buckets);
     let counts: Vec<Vec<u32>> = items
         .par_chunks(chunk_size)
         .map(|chunk| {
@@ -316,9 +330,11 @@ where
             histogram
         })
         .collect();
+    drop(count_span);
 
     // Exclusive prefix sums, bucket-major: bucket `b` starts after all
     // smaller buckets; within `b`, chunk `c` starts after smaller chunks.
+    let prefix_span = pardec_obs::span!("combine.prefix", buckets = buckets);
     let mut starts = vec![0usize; buckets + 1];
     for b in 0..buckets {
         let total: usize = counts.iter().map(|h| h[b] as usize).sum();
@@ -332,8 +348,10 @@ where
             *c += *h as usize;
         }
     }
+    drop(prefix_span);
 
     // Pass 2 — scatter into one flat pre-sized buffer.
+    let scatter_span = pardec_obs::span!("combine.scatter", pairs = input_pairs);
     let mut flat = uninit_vec::<T>(input_pairs);
     let dst = SyncPtr(flat.as_mut_ptr());
     let dst = &dst;
@@ -353,10 +371,12 @@ where
             }
         });
     drop(items);
+    drop(scatter_span);
     // SAFETY: the histograms cover every input item, so the cell ranges
     // tile `flat` exactly and every slot was written.
     let mut flat: Vec<T> = unsafe { assume_init_vec(flat) };
 
+    let mut fold_span = pardec_obs::span!("combine.fold", buckets = buckets);
     // Pass 3 — per-bucket sort + fold, in parallel across buckets. Bucket
     // contents are in global input order here, and the sort is
     // deterministic, so the fold order (hence the output) is a pure
@@ -384,12 +404,15 @@ where
     });
     // SAFETY: each destination cell has exactly its source prefix's length.
     let out = unsafe { assume_init_vec(out) };
+    fold_span.field("output_pairs", total);
+    drop(fold_span);
 
     let stats = CombineStats {
         input_pairs,
         output_pairs: total,
         buckets,
     };
+    pardec_obs::record(&stats);
     (out, stats)
 }
 

@@ -212,6 +212,8 @@ pub struct FrontierEngine<'g> {
     prev_frontier_len: usize,
     /// Current direction of the hybrid state machine.
     bottom_up: bool,
+    /// Times the hybrid state machine changed direction (either way).
+    switches: usize,
 }
 
 impl<'g> FrontierEngine<'g> {
@@ -244,6 +246,7 @@ impl<'g> FrontierEngine<'g> {
             frontier_degree: 0,
             prev_frontier_len: 0,
             bottom_up: false,
+            switches: 0,
         }
     }
 
@@ -270,6 +273,12 @@ impl<'g> FrontierEngine<'g> {
     /// How many of those steps ran bottom-up (0 under pure top-down).
     pub fn bottom_up_steps(&self) -> usize {
         self.bottom_up_steps
+    }
+
+    /// How often the hybrid heuristic flipped direction (0 for the pure
+    /// strategies).
+    pub fn direction_switches(&self) -> usize {
+        self.switches
     }
 
     /// Sources activated so far.
@@ -342,11 +351,28 @@ impl<'g> FrontierEngine<'g> {
         self.frontier.len()
     }
 
-    /// Runs steps until the frontier dies out.
+    /// Runs steps until the frontier dies out. Emits one `frontier.wave`
+    /// trace span covering the whole wave (strategy, rounds, direction
+    /// switches, peak frontier, claims) when tracing is enabled.
     pub fn run(&mut self) {
+        let mut wave = pardec_obs::span!(
+            "frontier.wave",
+            strategy = self.strategy.name(),
+            sources = self.sources.len(),
+        );
+        let steps_before = self.steps;
+        let claimed_before = self.claimed;
+        let switches_before = self.switches;
+        let mut max_frontier = self.frontier.len();
         while !self.frontier.is_empty() {
             self.step();
+            max_frontier = max_frontier.max(self.frontier.len());
         }
+        wave.field("rounds", self.steps - steps_before);
+        wave.field("claimed", self.claimed - claimed_before);
+        wave.field("switches", self.switches - switches_before);
+        wave.field("bottom_up_steps", self.bottom_up_steps);
+        wave.field("max_frontier", max_frontier);
     }
 
     /// Finalizes into the per-node label arrays.
@@ -373,9 +399,11 @@ impl<'g> FrontierEngine<'g> {
                     let growing = self.frontier.len() > self.prev_frontier_len;
                     if growing && frontier_degree * self.params.alpha > self.unexplored_arcs {
                         self.bottom_up = true;
+                        self.switches += 1;
                     }
                 } else if self.frontier.len() * self.params.beta < self.g.num_nodes() {
                     self.bottom_up = false;
+                    self.switches += 1;
                 }
                 self.bottom_up
             }
@@ -680,6 +708,7 @@ mod tests {
         eng.add_source(0);
         eng.run();
         assert!(eng.bottom_up_steps() > 0, "hybrid never went bottom-up");
+        assert!(eng.direction_switches() > 0);
         assert_eq!(eng.claimed(), g.num_nodes());
     }
 
@@ -692,6 +721,7 @@ mod tests {
         eng.add_source(0);
         eng.run();
         assert_eq!(eng.bottom_up_steps(), 0);
+        assert_eq!(eng.direction_switches(), 0);
         assert_eq!(eng.claimed(), 300);
     }
 

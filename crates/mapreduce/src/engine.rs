@@ -86,6 +86,7 @@ impl MrEngine {
 
         let ml = self.config.local_memory;
         let reducer = &reducer;
+        let shuffle_span = pardec_obs::span!("mr.shuffle", label = label, pairs = input_pairs);
         let results: Vec<PartOut<K2, V2>> = shuffle::radix_partition(input, partitions)
             .reduce_partitions(move |_p, pairs| {
                 // Intern keys and park values in one flat scratch first, so
@@ -134,6 +135,7 @@ impl MrEngine {
         let max_group = results.iter().map(|r| r.max_group).max().unwrap_or(0);
         let violations: usize = results.iter().map(|r| r.violations).sum();
         let output: Vec<(K2, V2)> = results.into_iter().flat_map(|r| r.out).collect();
+        drop(shuffle_span);
 
         self.stats.push(RoundStats {
             round: 0, // renumbered by the ledger

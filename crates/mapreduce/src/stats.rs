@@ -45,6 +45,24 @@ impl RoundStats {
     }
 }
 
+impl pardec_obs::Observe for RoundStats {
+    fn scope(&self) -> &'static str {
+        "mr.round"
+    }
+    fn observe(&self, m: &mut pardec_obs::Metrics) {
+        m.label("label", self.label);
+        m.counter("round", self.round as u64);
+        m.counter("map_pairs", self.map_pairs as u64);
+        m.counter("map_bytes", self.map_bytes as u64);
+        m.counter("input_pairs", self.input_pairs as u64);
+        m.counter("input_bytes", self.input_bytes as u64);
+        m.counter("output_pairs", self.output_pairs as u64);
+        m.counter("num_keys", self.num_keys as u64);
+        m.counter("max_group", self.max_group as u64);
+        m.counter("violations", self.violations as u64);
+    }
+}
+
 /// Accumulated metrics over an engine's lifetime.
 #[derive(Clone, Debug, Default)]
 pub struct MrStats {
@@ -52,9 +70,11 @@ pub struct MrStats {
 }
 
 impl MrStats {
-    /// Records one completed round.
+    /// Records one completed round (and reports it to the trace layer —
+    /// both `MrEngine` and the vertex engine funnel through here).
     pub(crate) fn push(&mut self, mut r: RoundStats) {
         r.round = self.rounds.len();
+        pardec_obs::record(&r);
         self.rounds.push(r);
     }
 

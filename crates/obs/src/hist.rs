@@ -1,0 +1,221 @@
+//! Fixed-bucket **log2 histograms** — integer-only latency distributions.
+//!
+//! Samples are `u64` values (the serve daemon records request micros).
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values whose bit
+//! length is `i`, i.e. the range `[2^(i-1), 2^i)`. With 64 possible bit
+//! lengths plus the zero bucket there are [`BUCKETS`] = 65 buckets, enough
+//! for the full `u64` range, and p50/p90/p99 are derivable without a single
+//! float: a percentile walks the cumulative counts and reports the upper
+//! bound of the bucket where the target rank lands.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: the zero bucket plus one per `u64` bit length.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a sample (0 for 0, else its bit length).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (`0` for bucket 0, else `2^i - 1`;
+/// saturates to `u64::MAX` for the top bucket).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A plain (single-writer) log2 histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from raw parts (the wire decode path).
+    pub fn from_parts(counts: [u64; BUCKETS], count: u64, sum: u64) -> Self {
+        Log2Histogram { counts, count, sum }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The raw bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket holding the `p`-th percentile sample
+    /// (`p` in 0..=100), 0 for an empty histogram. Integer-only: the target
+    /// rank is `ceil(count * p / 100)` clamped to at least 1.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * p).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// The shared-writer variant the serve daemon records into: all counters are
+/// relaxed atomics, so concurrent accept threads never contend on a lock.
+/// `snapshot` folds the cells into a plain [`Log2Histogram`].
+#[derive(Debug)]
+pub struct AtomicLog2Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicLog2Histogram {
+    fn default() -> Self {
+        AtomicLog2Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicLog2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample (relaxed; counters only, never ordering-bearing).
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Concurrent writers may land between the cell
+    /// reads; each sample is still counted exactly once overall.
+    pub fn snapshot(&self) -> Log2Histogram {
+        Log2Histogram {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_without_floats() {
+        let mut h = Log2Histogram::new();
+        // 90 fast samples (~8us), 9 medium (~100us), 1 slow (~5000us).
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(5000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50), bucket_bound(bucket_of(8)));
+        assert_eq!(h.percentile(90), bucket_bound(bucket_of(8)));
+        assert_eq!(h.percentile(99), bucket_bound(bucket_of(100)));
+        assert_eq!(h.percentile(100), bucket_bound(bucket_of(5000)));
+        assert_eq!(Log2Histogram::new().percentile(99), 0);
+    }
+
+    #[test]
+    fn merge_adds_samples() {
+        let mut a = Log2Histogram::new();
+        a.record(5);
+        let mut b = Log2Histogram::new();
+        b.record(1000);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1005);
+        assert_eq!(a.counts()[0], 1);
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain() {
+        let h = AtomicLog2Histogram::new();
+        let mut plain = Log2Histogram::new();
+        for v in [0u64, 1, 7, 300, 1 << 40] {
+            h.record(v);
+            plain.record(v);
+        }
+        assert_eq!(h.snapshot(), plain);
+    }
+}

@@ -1,0 +1,279 @@
+//! Minimal JSON emission and validation — enough for the trace's JSONL
+//! lines, with no external dependencies.
+//!
+//! Emission is string concatenation with proper escaping; validation is a
+//! tiny recursive-descent parser that checks well-formedness and returns the
+//! top-level object keys (what the CI trace checker asserts against).
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{v}");
+        // `Display` prints integral floats without a dot; keep the
+        // float-ness recoverable on parse.
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation (the CI trace checker)
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| (c as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            v = v * 16 + d;
+                        }
+                        out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            self.pos = start;
+            return Err(self.err("expected a number"));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b'{') => self.object().map(|_| ()),
+            Some(b'[') => self.array(),
+            Some(b't') => self.keyword("true"),
+            Some(b'f') => self.keyword("false"),
+            Some(b'n') => self.keyword("null"),
+            _ => self.number(),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(self.err("expected , or ]")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<String>, String> {
+        self.expect(b'{')?;
+        let mut keys = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(keys);
+        }
+        loop {
+            self.skip_ws();
+            keys.push(self.string()?);
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(keys),
+                _ => return Err(self.err("expected , or }")),
+            }
+        }
+    }
+}
+
+/// Validates that `line` is one well-formed JSON object and returns its
+/// top-level keys. Trailing garbage after the object is an error.
+pub fn validate_object(line: &str) -> Result<Vec<String>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let keys = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after object"));
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        push_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats() {
+        let mut s = String::new();
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+        s.clear();
+        push_f64(&mut s, 3.0);
+        assert_eq!(s, "3.0");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        // Everything emitted must validate.
+        for v in [0.25, -7.0, 1e300, 16.0] {
+            let mut line = String::from("{\"v\":");
+            push_f64(&mut line, v);
+            line.push('}');
+            validate_object(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_accepts_good_lines() {
+        for line in [
+            "{}",
+            r#"{"type":"span","name":"cluster.round","dur_us":12}"#,
+            r#"{"a":[1,2,{"b":null}],"c":-1.5e3,"d":"x\ny","e":true}"#,
+            r#" { "k" : "v" } "#,
+        ] {
+            validate_object(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let keys = validate_object(r#"{"type":"counter","name":"x","value":3}"#).unwrap();
+        assert_eq!(keys, ["type", "name", "value"]);
+    }
+
+    #[test]
+    fn validator_rejects_bad_lines() {
+        for line in [
+            "",
+            "[1,2]",
+            "{",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{"a" 1}"#,
+            r#"{"a":1} trailing"#,
+            r#"{"a":"unterminated}"#,
+            r#"{"a":tru}"#,
+        ] {
+            assert!(validate_object(line).is_err(), "accepted: {line}");
+        }
+    }
+}

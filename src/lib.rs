@@ -16,7 +16,10 @@
 //! * [`mr`] ([`pardec_mr`]) — the MapReduce-model emulation engine;
 //! * [`sketch`] ([`pardec_sketch`]) — Flajolet–Martin / HyperLogLog;
 //! * [`core`] ([`pardec_core`]) — CLUSTER, CLUSTER2, k-center, diameter
-//!   approximation, distance oracle, and the baselines.
+//!   approximation, distance oracle, and the baselines;
+//! * [`obs`] ([`pardec_obs`]) — the zero-cost-when-disabled tracing +
+//!   metrics layer (phase spans, unified ledger schema, log2 histograms,
+//!   JSONL trace export).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@
 pub use pardec_core as core;
 pub use pardec_graph as graph;
 pub use pardec_mr as mr;
+pub use pardec_obs as obs;
 pub use pardec_sketch as sketch;
 
 /// One-stop imports for applications and examples.

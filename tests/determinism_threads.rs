@@ -272,6 +272,61 @@ fn parallel_bfs_matches_sequential_bfs_on_a_real_pool() {
     assert_eq!(seq.levels, par.levels);
 }
 
+/// The observability layer's hard constraint, end-to-end: cluster,
+/// diameter, and the serve execute path produce **byte-identical** outputs
+/// with tracing enabled and disabled, at 1 and 4 threads. Tracing is a pure
+/// side channel — spans and metrics buffer per thread and never feed back
+/// into any algorithm.
+#[test]
+fn tracing_on_off_is_byte_identical_across_pool_sizes() {
+    use pardec::core::wire;
+    use pardec::obs;
+
+    let g = generators::road_network(30, 30, 0.4, 9);
+    let n = g.num_nodes() as u32;
+
+    let run_all = || {
+        let r = cluster(&g, &ClusterParams::new(8, 42));
+        let d = approximate_diameter(&g, &DiameterParams::new(8, 42));
+        let session = Session::build(
+            g.clone(),
+            &SessionParams::new(6, 42).with_frontier(FrontierStrategy::TopDown),
+        );
+        let responses: Vec<Vec<u8>> = [
+            wire::Request::Info,
+            wire::Request::Distance((0..64).map(|i| (i % n, (i * 31 + 7) % n)).collect()),
+            wire::Request::ClusterOf((0..64).map(|i| (i * 13) % n).collect()),
+            wire::Request::Eccentricity((0..16).map(|i| (i * 17 + 3) % n).collect()),
+            wire::Request::Nearest {
+                sources: (0..8).map(|i| (i * 53) % n).collect(),
+                probes: (0..64).map(|i| (i * 7 + 1) % n).collect(),
+            },
+        ]
+        .iter()
+        .map(|req| wire::execute(&session, req))
+        .collect();
+        (r.clustering, d.lower_bound, d.estimate(), responses)
+    };
+
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool construction cannot fail");
+        obs::disable();
+        let off = format!("{:?}", pool.install(run_all));
+        obs::enable();
+        let on = format!("{:?}", pool.install(run_all));
+        obs::disable();
+        let events = obs::drain();
+        assert!(
+            !events.is_empty(),
+            "tracing was enabled but recorded no events at {threads} threads"
+        );
+        assert_eq!(off, on, "tracing perturbed results at {threads} threads");
+    }
+}
+
 #[test]
 fn serve_responses_are_byte_identical_across_pool_sizes() {
     // The serve daemon's determinism contract: the exact response bytes —

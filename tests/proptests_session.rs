@@ -100,6 +100,7 @@ proptest! {
             wire::Request::Eccentricity(nodes.clone()),
             wire::Request::Nearest { sources, probes: nodes },
             wire::Request::Shutdown,
+            wire::Request::Stats,
         ];
         for req in reqs {
             let body = wire::encode_request(&req);
@@ -107,4 +108,105 @@ proptest! {
             prop_assert_eq!(back, req);
         }
     }
+
+    /// The STATS body codec is the identity on arbitrary snapshots — any
+    /// counter values, any opcode set, any latency distribution.
+    #[test]
+    fn wire_stats_body_round_trips(
+        uptime_us in any::<u64>(),
+        total_requests in any::<u64>(),
+        errors in any::<u64>(),
+        bytes_in in any::<u64>(),
+        bytes_out in any::<u64>(),
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), proptest::collection::vec(any::<u64>(), 0..30)),
+            0..6,
+        ),
+    ) {
+        let per_op = ops
+            .into_iter()
+            .map(|(opcode, count, samples)| {
+                let mut latency = pardec::obs::Log2Histogram::new();
+                for s in samples {
+                    latency.record(s);
+                }
+                wire::OpStats { opcode, count, latency }
+            })
+            .collect();
+        let snap = wire::StatsSnapshot {
+            uptime_us,
+            total_requests,
+            errors,
+            bytes_in,
+            bytes_out,
+            per_op,
+        };
+        let body = wire::encode_stats_body(&snap);
+        prop_assert_eq!(wire::decode_stats_body(&body).unwrap(), snap.clone());
+
+        // And through the full response frame: 15-byte header + body.
+        let frame = wire::stats_response_frame(&snap);
+        let resp = wire::decode_response(&frame).unwrap();
+        prop_assert_eq!(resp.status, 0);
+        prop_assert_eq!(resp.opcode, wire::OP_STATS);
+        prop_assert_eq!(wire::decode_stats_body(&resp.body).unwrap(), snap);
+    }
+}
+
+/// Golden wire bytes for the OP_STATS surface: the request is the bare
+/// opcode, and a handcrafted snapshot encodes to exactly the frame the
+/// module docs promise (15-byte response header, 41-byte fixed stats
+/// header, 546-byte per-op entries). The expected bytes are derived here
+/// by hand, independent of the encoder.
+#[test]
+fn wire_stats_golden_bytes() {
+    assert_eq!(wire::encode_request(&wire::Request::Stats), vec![0x07]);
+
+    let mut latency = pardec::obs::Log2Histogram::new();
+    latency.record(0); // bucket 0
+    latency.record(5); // bucket 3 (bit length of 5)
+    latency.record(1000); // bucket 10
+    let snap = wire::StatsSnapshot {
+        uptime_us: 7,
+        total_requests: 3,
+        errors: 1,
+        bytes_in: 100,
+        bytes_out: 200,
+        per_op: vec![wire::OpStats {
+            opcode: wire::OP_DIST,
+            count: 3,
+            latency,
+        }],
+    };
+
+    // Response header: status 0, opcode STATS, zero ledger, strategy 0.
+    let mut expect = vec![0u8, wire::OP_STATS];
+    expect.extend_from_slice(&[0; 13]);
+    // Fixed stats header.
+    for v in [7u64, 3, 1, 100, 200] {
+        expect.extend_from_slice(&v.to_le_bytes());
+    }
+    expect.push(1); // n_ops
+                    // The single per-op entry.
+    expect.push(wire::OP_DIST);
+    for v in [3u64, 3, 1005] {
+        expect.extend_from_slice(&v.to_le_bytes());
+    }
+    expect.push(65); // n_buckets
+    let mut buckets = [0u64; 65];
+    buckets[0] = 1;
+    buckets[3] = 1;
+    buckets[10] = 1;
+    for b in buckets {
+        expect.extend_from_slice(&b.to_le_bytes());
+    }
+    assert_eq!(expect.len(), 15 + 41 + 546);
+
+    let frame = wire::stats_response_frame(&snap);
+    assert_eq!(frame, expect, "STATS frame layout drifted");
+    assert_eq!(
+        wire::decode_stats_body(&frame[15..]).unwrap(),
+        snap,
+        "golden frame no longer decodes to its snapshot"
+    );
 }
