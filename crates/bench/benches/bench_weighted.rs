@@ -1,0 +1,135 @@
+//! Weighted-pipeline bench: `weighted_cluster` on the bucketed frontier
+//! engine vs the retained sequential Dijkstra oracle, one JSON line per
+//! (workload, weights, threads, delta) configuration.
+//!
+//! ```text
+//! cargo bench -p pardec-bench --bench bench_weighted
+//! ```
+//!
+//! Scale with `--scale {ci,default,full}` or `PARDEC_SCALE`, like the table
+//! binaries. The three graph families of the paper's evaluation each run
+//! with pseudo-random and unit weights, on 1- and 4-worker pools, across
+//! two bucket widths; every configuration's clustering is asserted
+//! byte-identical to the sequential oracle before its timing is reported —
+//! the bench doubles as an end-to-end equivalence check of the engine's
+//! determinism contract (outputs depend on neither the pool size nor δ).
+
+use pardec_bench::workloads::Scale;
+use pardec_bench::{scale_from_args, timed};
+use pardec_core::weighted_cluster::naive;
+use pardec_core::{weighted_cluster_result, weighted_diameter, ClusterParams};
+use pardec_graph::{generators, CsrGraph, NodeId, WeightedGraph};
+
+const THREAD_CONFIGS: [usize; 2] = [1, 4];
+const DELTAS: [u64; 2] = [1, 8];
+const TAU: usize = 4;
+const SEED: u64 = 7;
+
+fn workloads(scale: Scale) -> Vec<(&'static str, CsrGraph)> {
+    let (mesh_side, pl_nodes, road_side) = match scale {
+        Scale::Ci => (60, 6_000, 45),
+        Scale::Default => (140, 30_000, 110),
+        Scale::Full => (280, 120_000, 220),
+    };
+    vec![
+        ("mesh", generators::mesh(mesh_side, mesh_side)),
+        (
+            "powerlaw",
+            generators::windowed_preferential_attachment(pl_nodes, 8, 0.025, SEED),
+        ),
+        (
+            "road",
+            generators::road_network(road_side, road_side, 0.4, SEED),
+        ),
+    ]
+}
+
+/// Deterministic weighted variants of an unweighted workload graph.
+fn weightings(g: &CsrGraph) -> Vec<(&'static str, WeightedGraph)> {
+    let random: Vec<(NodeId, NodeId, u64)> = g
+        .edges()
+        .map(|(u, v)| (u, v, u64::from((u * 31 + v) % 7) + 1))
+        .collect();
+    let unit: Vec<(NodeId, NodeId, u64)> = g.edges().map(|(u, v)| (u, v, 1)).collect();
+    vec![
+        ("random", WeightedGraph::from_edges(g.num_nodes(), &random)),
+        ("unit", WeightedGraph::from_edges(g.num_nodes(), &unit)),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_args();
+    for (workload, g) in workloads(scale) {
+        for (weights, wg) in weightings(&g) {
+            let params = ClusterParams::new(TAU, SEED);
+            let (oracle, naive_seconds) = timed(|| naive::weighted_cluster(&wg, &params));
+            for threads in THREAD_CONFIGS {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool construction cannot fail");
+                for delta in DELTAS {
+                    let params = ClusterParams::new(TAU, SEED).with_delta(delta);
+                    // One warm-up, then best-of-three to damp scheduler noise.
+                    let _ = pool.install(|| weighted_cluster_result(&wg, &params));
+                    let mut best = f64::INFINITY;
+                    let mut result = None;
+                    for _ in 0..3 {
+                        let (r, secs) =
+                            timed(|| pool.install(|| weighted_cluster_result(&wg, &params)));
+                        best = best.min(secs);
+                        result = Some(r);
+                    }
+                    let r = result.expect("ran at least once");
+                    let identical = r.clustering == oracle;
+                    println!(
+                        "{{\"bench\":\"weighted\",\"workload\":\"{}\",\"weights\":\"{}\",\
+                         \"nodes\":{},\"edges\":{},\"threads\":{},\"delta\":{},\
+                         \"seconds\":{:.6},\"naive_seconds\":{:.6},\"speedup_vs_naive\":{:.3},\
+                         \"clusters\":{},\"max_weighted_radius\":{},\"max_hop_radius\":{},\
+                         \"buckets\":{},\"rounds\":{},\"identical_output\":{}}}",
+                        workload,
+                        weights,
+                        wg.num_nodes(),
+                        wg.num_edges(),
+                        threads,
+                        delta,
+                        best,
+                        naive_seconds,
+                        naive_seconds / best,
+                        r.clustering.num_clusters(),
+                        r.clustering.max_weighted_radius(),
+                        r.clustering.max_hop_radius(),
+                        r.trace.buckets,
+                        r.trace.rounds.len(),
+                        identical
+                    );
+                    assert!(
+                        identical,
+                        "{workload}/{weights} engine diverged from the sequential oracle \
+                         at {threads} threads, delta {delta}"
+                    );
+                }
+            }
+            // One diameter row per weighted workload: the end-to-end
+            // pipeline (decompose + weighted quotient + APSP + sweep).
+            let (a, secs) = timed(|| weighted_diameter(&wg, &ClusterParams::new(TAU, SEED)));
+            println!(
+                "{{\"bench\":\"weighted_diameter\",\"workload\":\"{}\",\"weights\":\"{}\",\
+                 \"nodes\":{},\"edges\":{},\"seconds\":{:.6},\"lower\":{},\"upper\":{},\
+                 \"weighted_radius\":{},\"quotient_nodes\":{},\"quotient_edges\":{}}}",
+                workload,
+                weights,
+                wg.num_nodes(),
+                wg.num_edges(),
+                secs,
+                a.lower_bound,
+                a.upper_bound,
+                a.weighted_radius,
+                a.quotient_nodes,
+                a.quotient_edges
+            );
+            assert!(a.lower_bound <= a.upper_bound);
+        }
+    }
+}

@@ -85,6 +85,7 @@ const VALUED_KEYS: &[&str] = &[
     "addr",
     "accept-threads",
     "trace",
+    "delta",
 ];
 
 impl Args {
@@ -192,6 +193,24 @@ impl Args {
                 Ok(n) if n > 0 => Ok(Some(n)),
                 _ => Err(ArgError::BadValue {
                     key: "partitions".to_string(),
+                    value: raw.to_string(),
+                    expected: "a positive integer",
+                }),
+            },
+        }
+    }
+
+    /// The `--delta` option: bucket width of the weighted frontier engine,
+    /// `None` when unspecified (the width then follows `PARDEC_DELTA`,
+    /// falling back to the mean-edge-weight heuristic). Delta shapes
+    /// wall-clock only — weighted outputs are byte-identical at any width.
+    pub fn delta(&self) -> Result<Option<u64>, ArgError> {
+        match self.options.get("delta") {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(ArgError::BadValue {
+                    key: "delta".to_string(),
                     value: raw.to_string(),
                     expected: "a positive integer",
                 }),
@@ -329,6 +348,28 @@ mod tests {
         assert_eq!(
             parse("mr-cluster --partitions").unwrap_err(),
             ArgError::MissingValue("partitions".into())
+        );
+    }
+
+    #[test]
+    fn delta_option() {
+        assert_eq!(parse("stats --graph g").unwrap().delta().unwrap(), None);
+        assert_eq!(
+            parse("clust weighted --graph g --delta 16")
+                .unwrap()
+                .delta(),
+            Ok(Some(16))
+        );
+        for bad in ["0", "-3", "wide"] {
+            let a = parse(&format!("clust weighted --graph g --delta {bad}")).unwrap();
+            assert!(
+                matches!(a.delta(), Err(ArgError::BadValue { .. })),
+                "--delta {bad} should be rejected"
+            );
+        }
+        assert_eq!(
+            parse("clust weighted --delta").unwrap_err(),
+            ArgError::MissingValue("delta".into())
         );
     }
 

@@ -41,10 +41,16 @@ command tree:
                   [--rows R --cols C] [--nodes N --attach M --window F
                   --extra-prob P --degree D --edges M] [--seed S] --out FILE
   stats           --graph FILE
-  clust <algo>    algo: cluster | cluster2 | mpx
+  clust <algo>    algo: cluster | cluster2 | mpx | weighted
                   --graph FILE [--tau T] [--beta B] [--seed S] [--labels FILE]
-  dist <algo>     algo: approx | exact
+                  weighted reads an optional third edge-list column as the
+                  weight (default 1) and takes [--delta D] (bucket width of
+                  the weighted engine; default PARDEC_DELTA, else the mean
+                  edge weight; never changes results)
+  dist <algo>     algo: approx | exact | weighted
                   --graph FILE [--tau T] [--seed S] [--exact] [--cluster2]
+                  weighted approximates the weighted diameter and takes
+                  [--delta D] like clust weighted
   kcenter         --graph FILE --k K [--seed S] [--gonzalez]
   oracle          --graph FILE [--tau T] [--seed S] --queries u:v[,u:v...]
   mr <algo>       algo: cluster | bfs | hadi
@@ -91,11 +97,17 @@ pub fn dispatch(args: &Args) -> CmdResult {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "stats" => cmd_stats(args),
-        "clust" => cmd_clust(args, args.sub.as_str()),
+        "clust" => match args.sub.as_str() {
+            "weighted" => cmd_clust_weighted(args),
+            algo => cmd_clust(args, algo),
+        },
         "dist" => match args.sub.as_str() {
             "approx" | "" => cmd_dist_approx(args),
             "exact" => cmd_dist_exact(args),
-            other => Err(format!("unknown dist algorithm {other:?} (approx | exact)").into()),
+            "weighted" => cmd_dist_weighted(args),
+            other => {
+                Err(format!("unknown dist algorithm {other:?} (approx | exact | weighted)").into())
+            }
         },
         "kcenter" => cmd_kcenter(args),
         "oracle" => cmd_oracle(args),
@@ -293,6 +305,108 @@ fn cmd_clust(args: &Args, algo: &str) -> CmdResult {
     if let Ok(path) = args.req("labels") {
         write_labels(path, clustering)?;
         println!("labels        written to {path}");
+    }
+    Ok(())
+}
+
+fn load_weighted_graph(args: &Args) -> Result<pardec_graph::WeightedGraph, Box<dyn Error>> {
+    let path = args.req("graph")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(io::read_weighted_edge_list(&mut BufReader::new(file))?)
+}
+
+/// Weighted `ClusterParams` shared by `clust weighted` and `dist weighted`:
+/// `--tau`, `--seed`, and `--delta` (falling back to `PARDEC_DELTA`, then
+/// the mean-edge-weight heuristic, inside the engine).
+fn weighted_params(args: &Args) -> Result<ClusterParams, Box<dyn Error>> {
+    let tau: usize = args.opt_parse("tau", 4, "a positive integer")?;
+    let mut params = ClusterParams::new(tau, seed(args)?);
+    if let Some(d) = args.delta()? {
+        params = params.with_delta(d);
+    }
+    Ok(params)
+}
+
+fn write_weighted_labels(path: &str, c: &pardec_core::WeightedClustering) -> CmdResult {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# node\tcluster\tweighted_dist\thops")?;
+    for (v, &cl) in c.assignment.iter().enumerate() {
+        writeln!(w, "{v}\t{cl}\t{}\t{}", c.weighted_dist[v], c.hops[v])?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn cmd_clust_weighted(args: &Args) -> CmdResult {
+    let g = load_weighted_graph(args)?;
+    let params = weighted_params(args)?;
+    let r = pardec_core::weighted_cluster_result(&g, &params);
+    let c = &r.clustering;
+    println!("algorithm     weighted-cluster");
+    println!("clusters      {}", c.num_clusters());
+    println!("max w-radius  {}", c.max_weighted_radius());
+    println!("max hop-rad   {}", c.max_hop_radius());
+    println!(
+        "rounds        {} batches + {} tail singletons",
+        r.trace.rounds.len(),
+        r.trace.tail_singletons
+    );
+    println!(
+        "buckets       {} (delta {})",
+        r.trace.buckets, r.trace.delta
+    );
+    let (q, kernel) = c.quotient_with_stats(&g);
+    println!(
+        "quotient      {} nodes / {} edges",
+        q.num_nodes(),
+        q.num_edges()
+    );
+    println!(
+        "kernel        {} cut edges -> {} ({:.2}x combine)",
+        kernel.input_pairs,
+        kernel.output_pairs,
+        kernel.combine_ratio()
+    );
+    if let Ok(path) = args.req("labels") {
+        write_weighted_labels(path, c)?;
+        println!("labels        written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_dist_weighted(args: &Args) -> CmdResult {
+    let g = load_weighted_graph(args)?;
+    let params = weighted_params(args)?;
+    let a = pardec_core::weighted_diameter(&g, &params);
+    println!("lower bound (sweep)  {}", a.lower_bound);
+    println!("upper bound (Δ″)     {}", a.upper_bound);
+    println!("weighted radius      {}", a.weighted_radius);
+    println!("hop radius           {}", a.hop_radius);
+    println!(
+        "quotient             {} nodes / {} edges",
+        a.quotient_nodes, a.quotient_edges
+    );
+    println!(
+        "contraction kernel   {} cut edges -> {} combined edges ({:.2}x combine, {} buckets)",
+        a.quotient_kernel.input_pairs,
+        a.quotient_kernel.output_pairs,
+        a.quotient_kernel.combine_ratio(),
+        a.quotient_kernel.buckets
+    );
+    println!(
+        "rounds               {} batches ({} wave buckets, delta {})",
+        a.trace.rounds.len(),
+        a.trace.buckets,
+        a.trace.delta
+    );
+    if args.has_flag("exact") {
+        let exact = g.apsp_diameter();
+        println!("exact diameter       {exact}");
+        println!(
+            "approximation ratio  {:.3}",
+            a.estimate() as f64 / exact.max(1) as f64
+        );
     }
     Ok(())
 }

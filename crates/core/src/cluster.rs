@@ -39,9 +39,15 @@ pub struct ClusterParams {
     pub stop_factor: f64,
     /// Frontier expansion strategy of the growth engine. Every strategy
     /// produces a byte-identical clustering; this trades wall-clock only.
-    /// Unused by [`crate::weighted_cluster`], whose event-driven Dijkstra
+    /// Unused by [`crate::weighted_cluster`], whose bucketed Dijkstra
     /// growth has no level-synchronous frontier to flip.
     pub frontier: FrontierStrategy,
+    /// Bucket width δ of the weighted engine (arrival-time window per
+    /// bucket). Like `frontier`, a wall-clock knob only: every δ produces a
+    /// byte-identical weighted clustering. `None` falls back to
+    /// `PARDEC_DELTA`, then to the mean-edge-weight heuristic. Unused by
+    /// the unweighted [`cluster`].
+    pub delta: Option<u64>,
 }
 
 impl ClusterParams {
@@ -55,12 +61,20 @@ impl ClusterParams {
             batch_factor: 4.0,
             stop_factor: 8.0,
             frontier: FrontierStrategy::default_from_env(),
+            delta: None,
         }
     }
 
     /// Selects the growth engine's frontier expansion strategy.
     pub fn with_frontier(mut self, strategy: FrontierStrategy) -> Self {
         self.frontier = strategy;
+        self
+    }
+
+    /// Pins the weighted engine's bucket width δ (must be ≥ 1).
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        assert!(delta >= 1, "delta must be positive");
+        self.delta = Some(delta);
         self
     }
 }

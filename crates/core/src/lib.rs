@@ -42,6 +42,7 @@ pub mod oracle;
 pub mod session;
 pub mod testing;
 pub mod weighted_cluster;
+pub mod weighted_diameter;
 pub mod wire;
 
 pub use cluster::{cluster, ClusterParams, ClusterResult, ClusterTrace, IterationTrace};
@@ -56,4 +57,8 @@ pub use mpx::{mpx, mpx_with_frontier, MpxResult};
 pub use oracle::DistanceOracle;
 pub use pardec_graph::frontier::FrontierStrategy;
 pub use session::{QueryLedger, Session, SessionAlgo, SessionError, SessionParams};
-pub use weighted_cluster::{weighted_cluster, WeightedClustering};
+pub use weighted_cluster::{
+    weighted_cluster, weighted_cluster_result, WeightedClusterResult, WeightedClusterTrace,
+    WeightedClustering, WeightedRoundTrace,
+};
+pub use weighted_diameter::{weighted_diameter, WeightedDiameterApprox};

@@ -54,7 +54,7 @@
 //! any byte yields an error (asserted exhaustively by the tests here and
 //! property-tested in `tests/proptests_session.rs`).
 
-use crate::{CsrGraph, GraphBuilder, NodeId};
+use crate::{CsrGraph, GraphBuilder, NodeId, WeightedGraph};
 use bytes::{Buf, BufMut};
 use rayon::prelude::*;
 use std::io::{self, BufRead, Write};
@@ -142,6 +142,76 @@ pub fn read_edge_list(r: &mut impl BufRead) -> io::Result<CsrGraph> {
         b.add_edge(u, v);
     }
     Ok(b.build())
+}
+
+/// Writes `g` as a text edge list with a third weight column: a
+/// `# nodes <n> edges <m>` header followed by one `u<TAB>v<TAB>w` line per
+/// undirected edge.
+pub fn write_weighted_edge_list(g: &WeightedGraph, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for u in 0..g.num_nodes() as NodeId {
+        for (v, wt) in g.upper_neighbors(u) {
+            writeln!(w, "{u}\t{v}\t{wt}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a text edge list with an *optional* third weight column (missing
+/// weights default to 1, so every unweighted edge list is also a valid
+/// weighted one). Comments, separators, and the `# nodes n` header follow
+/// [`read_edge_list`]; duplicate edges keep their smallest weight.
+pub fn read_weighted_edge_list(r: &mut impl BufRead) -> io::Result<WeightedGraph> {
+    let mut edges: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    let mut declared_n: usize = 0;
+    let mut max_id: usize = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            while let Some(tok) = it.next() {
+                if tok == "nodes" {
+                    if let Some(Ok(n)) = it.next().map(str::parse::<usize>) {
+                        declared_n = declared_n.max(n);
+                    }
+                }
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (
+                a.parse::<NodeId>()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                b.parse::<NodeId>()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            ),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge line: {t:?}"),
+                ))
+            }
+        };
+        let w = match it.next() {
+            Some(s) => s
+                .parse::<u64>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            None => 1,
+        };
+        max_id = max_id.max(u as usize).max(v as usize);
+        edges.push((u, v, w));
+    }
+    let n = declared_n.max(if edges.is_empty() { 0 } else { max_id + 1 });
+    Ok(WeightedGraph::from_edges(n, &edges))
 }
 
 fn data_err(msg: impl Into<String>) -> io::Error {
@@ -490,6 +560,27 @@ mod tests {
         assert!(read_edge_list(&mut BufReader::new(text.as_bytes())).is_err());
         let text = "42\n";
         assert!(read_edge_list(&mut BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn weighted_text_round_trip() {
+        let g = WeightedGraph::from_edges(5, &[(0, 1, 7), (1, 2, 1), (2, 3, 40), (0, 4, 2)]);
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_weighted_edge_list(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn weighted_text_defaults_and_min_collapse() {
+        // Missing third column means weight 1; duplicates keep the min.
+        let text = "# nodes 4\n0 1\n1 2 5\n2 1 3\n";
+        let g = read_weighted_edge_list(&mut BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.dijkstra(0)[2], 4);
+        let bad = "0 1 x\n";
+        assert!(read_weighted_edge_list(&mut BufReader::new(bad.as_bytes())).is_err());
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod stats;
 pub mod traversal;
 pub mod union_find;
 pub mod weighted;
+pub mod wfrontier;
 
 /// Node identifier. Graphs of up to `u32::MAX - 1` nodes are supported; using
 /// 32-bit ids instead of `usize` halves the memory traffic of adjacency scans.
@@ -72,6 +73,7 @@ pub use combine::CombineStats;
 pub use csr::CsrGraph;
 pub use frontier::FrontierStrategy;
 pub use weighted::WeightedGraph;
+pub use wfrontier::WeightedFrontierEngine;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -80,8 +82,10 @@ pub mod prelude {
     pub use crate::csr::CsrGraph;
     pub use crate::frontier::FrontierStrategy;
     pub use crate::weighted::WeightedGraph;
+    pub use crate::wfrontier::WeightedFrontierEngine;
     pub use crate::{
         combine, components, diameter, frontier, generators, io, quotient, stats, traversal,
+        wfrontier,
     };
     pub use crate::{NodeId, INFINITE_DIST, INVALID_NODE};
 }

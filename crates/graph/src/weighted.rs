@@ -5,6 +5,7 @@
 //! between adjacent clusters. Its diameter `Δ′_C` yields the tightened upper
 //! bound `Δ″ = 2·R_ALG2 + Δ′_C`, and its APSP matrix is the distance oracle.
 
+use crate::combine::{self, pack};
 use crate::{NodeId, INVALID_NODE};
 use rayon::prelude::*;
 use std::cmp::Reverse;
@@ -26,38 +27,48 @@ impl WeightedGraph {
     /// Builds from an edge triple list `(u, v, w)`. Self-loops are dropped;
     /// duplicate edges keep the smallest weight.
     ///
+    /// The build runs on the [`crate::combine`] min-combine kernel over one
+    /// normalized `(min(u, v), max(u, v))` record per edge occurrence, so
+    /// the result is the canonical sorted CSR — a pure function of the edge
+    /// *multiset*: any permutation of the input (and any pool size) builds
+    /// a byte-identical graph.
+    ///
     /// # Panics
     /// Panics if an endpoint is out of range.
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId, u64)]) -> Self {
-        let mut arcs: Vec<(NodeId, NodeId, u64)> = Vec::with_capacity(edges.len() * 2);
-        for &(u, v, w) in edges {
-            assert!(
-                (u as usize) < n && (v as usize) < n,
-                "edge ({u}, {v}) out of range for n = {n}"
-            );
-            if u != v {
-                arcs.push((u, v, w));
-                arcs.push((v, u, w));
-            }
-        }
-        arcs.sort_unstable();
-        // Keep the minimum-weight copy of each (u, v): after sorting it is
-        // the first of each run.
-        arcs.dedup_by(|next, first| (next.0, next.1) == (first.0, first.1));
-
-        let mut offsets = vec![0usize; n + 1];
-        for &(u, _, _) in &arcs {
-            offsets[u as usize + 1] += 1;
-        }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let mut targets = Vec::with_capacity(arcs.len());
-        let mut weights = Vec::with_capacity(arcs.len());
-        for (_, v, w) in arcs {
-            targets.push(v);
-            weights.push(w);
-        }
+        // One u128 record per surviving edge: packed (min, max) key in the
+        // high 64 bits, weight in the low 64. Equal keys share their high
+        // bits, so the min-fold on the whole word is a min on the weight.
+        let half: Vec<u128> = combine::par_emit(
+            edges.len(),
+            |i| {
+                let (u, v, _) = edges[i];
+                usize::from(u != v)
+            },
+            |i, emit| {
+                let (u, v, w) = edges[i];
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "edge ({u}, {v}) out of range for n = {n}"
+                );
+                if u != v {
+                    let key = pack(u.min(v), u.max(v));
+                    emit.push(((key as u128) << 64) | w as u128);
+                }
+            },
+        );
+        let (arcs, _) = combine::combine_symmetrize(
+            n,
+            half,
+            |a| (a >> 64) as u64,
+            |rec| {
+                let (hi, lo) = combine::unpack((rec >> 64) as u64);
+                ((pack(lo, hi) as u128) << 64) | (rec & u128::from(u64::MAX))
+            },
+            |a, b| a.min(b),
+        );
+        let (offsets, targets) = combine::csr_parts_from_sorted(n, &arcs, |&a| (a >> 64) as u64);
+        let weights: Vec<u64> = arcs.iter().map(|&rec| rec as u64).collect();
         WeightedGraph {
             offsets,
             targets,
@@ -106,6 +117,14 @@ impl WeightedGraph {
             .iter()
             .copied()
             .zip(self.weights[range].iter().copied())
+    }
+
+    /// Neighbours `v > u` with weights — the upper adjacency tail, visiting
+    /// each undirected edge at exactly one endpoint (targets are sorted, so
+    /// the tail is a suffix of the adjacency list).
+    #[inline]
+    pub fn upper_neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.neighbors(u).filter(move |&(v, _)| v > u)
     }
 
     /// Single-source shortest paths (Dijkstra, binary heap).
@@ -246,5 +265,33 @@ mod tests {
     #[test]
     fn invariants_hold() {
         assert!(diamond().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn upper_neighbors_cover_each_edge_once() {
+        let g = diamond();
+        let total: usize = (0..4).map(|u| g.upper_neighbors(u).count()).sum();
+        assert_eq!(total, g.num_edges());
+        assert!(g.upper_neighbors(0).all(|(v, _)| v > 0));
+    }
+
+    #[test]
+    fn from_edges_is_order_independent() {
+        // Duplicates with different weights in both orientations: every
+        // permutation must min-collapse to the same graph.
+        let edges = [
+            (0u32, 1u32, 9u64),
+            (2, 3, 4),
+            (1, 0, 2),
+            (3, 2, 8),
+            (0, 1, 4),
+            (1, 2, 7),
+        ];
+        let fwd = WeightedGraph::from_edges(4, &edges);
+        let mut rev = edges;
+        rev.reverse();
+        assert_eq!(fwd, WeightedGraph::from_edges(4, &rev));
+        assert_eq!(fwd.dijkstra(0)[1], 2);
+        assert_eq!(fwd.dijkstra(2)[3], 4);
     }
 }

@@ -51,10 +51,12 @@ pub use pardec_sketch as sketch;
 pub mod prelude {
     pub use pardec_core::{
         approximate_diameter, approximate_diameter_of_clustering, cluster, cluster2, gonzalez,
-        hadi, kcenter, mpx, mpx_with_frontier, weighted_cluster, Cluster2Result, ClusterParams,
-        ClusterResult, Clustering, DiameterApprox, DiameterParams, DistanceOracle, HadiParams,
-        HadiResult, KCenterResult, MpxResult, QueryLedger, Session, SessionAlgo, SessionError,
-        SessionParams, WeightedClustering,
+        hadi, kcenter, mpx, mpx_with_frontier, weighted_cluster, weighted_cluster_result,
+        weighted_diameter, Cluster2Result, ClusterParams, ClusterResult, Clustering,
+        DiameterApprox, DiameterParams, DistanceOracle, HadiParams, HadiResult, KCenterResult,
+        MpxResult, QueryLedger, Session, SessionAlgo, SessionError, SessionParams,
+        WeightedClusterResult, WeightedClusterTrace, WeightedClustering, WeightedDiameterApprox,
+        WeightedRoundTrace,
     };
     pub use pardec_graph::prelude::*;
     pub use pardec_mr::{MrConfig, MrEngine, MrStats};

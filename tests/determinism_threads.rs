@@ -143,6 +143,83 @@ fn weighted_cluster_is_byte_identical_across_pool_sizes() {
     }
 }
 
+fn weighted_workload_graphs() -> Vec<(&'static str, WeightedGraph)> {
+    workload_graphs()
+        .into_iter()
+        .map(|(name, g)| {
+            let edges: Vec<(NodeId, NodeId, u64)> = g
+                .edges()
+                .map(|(u, v)| (u, v, u64::from((u * 31 + v) % 7) + 1))
+                .collect();
+            (name, WeightedGraph::from_edges(g.num_nodes(), &edges))
+        })
+        .collect()
+}
+
+/// The weighted pipeline's full invariance matrix: the engine-backed
+/// `weighted_cluster` equals the retained sequential heap oracle
+/// (`weighted_cluster::naive`) byte for byte, on a 1-thread and a 4-thread
+/// pool, at every bucket width δ — outputs must depend on neither the pool
+/// size nor `--delta`.
+#[test]
+fn weighted_cluster_is_delta_and_pool_invariant() {
+    use pardec::core::weighted_cluster::naive;
+    for (name, wg) in weighted_workload_graphs() {
+        let oracle = naive::weighted_cluster(&wg, &ClusterParams::new(4, 42));
+        for delta in [1u64, 3, 1000] {
+            let params = ClusterParams::new(4, 42).with_delta(delta);
+            let (one, four) = on_both_pools(|| weighted_cluster(&wg, &params));
+            assert_eq!(
+                format!("{oracle:?}"),
+                one,
+                "engine (1 thread, delta={delta}) diverged from naive on {name}"
+            );
+            assert_eq!(
+                one, four,
+                "weighted_cluster(delta={delta}) diverged across pools on {name}"
+            );
+        }
+    }
+}
+
+/// `weighted_diameter` (decomposition + weighted quotient + APSP + double
+/// sweep) is byte-identical across pool sizes and bucket widths. The trace
+/// records δ and the bucket count, which legitimately vary with δ, so the
+/// row compares everything else.
+#[test]
+fn weighted_diameter_is_delta_and_pool_invariant() {
+    for (name, wg) in weighted_workload_graphs() {
+        let mut rows = Vec::new();
+        for delta in [1u64, 3, 1000] {
+            let params = ClusterParams::new(4, 42).with_delta(delta);
+            let (one, four) = on_both_pools(|| {
+                let a = weighted_diameter(&wg, &params);
+                (
+                    a.lower_bound,
+                    a.upper_bound,
+                    a.weighted_radius,
+                    a.hop_radius,
+                    a.quotient_nodes,
+                    a.quotient_edges,
+                    a.quotient_kernel,
+                    a.clustering,
+                )
+            });
+            assert_eq!(
+                one, four,
+                "weighted_diameter(delta={delta}) diverged across pools on {name}"
+            );
+            rows.push(one);
+        }
+        for row in &rows {
+            assert_eq!(
+                &rows[0], row,
+                "weighted_diameter bounds depend on delta on {name}"
+            );
+        }
+    }
+}
+
 /// The frontier engine's full contract in one matrix: for every strategy,
 /// 1-thread and 4-thread pools agree, and all strategies agree with each
 /// other — over raw multi-source BFS and over the full decomposition.

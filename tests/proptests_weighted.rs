@@ -1,0 +1,272 @@
+//! Property tests for the weighted pipeline's equivalence contracts:
+//!
+//! * the bucketed [`WeightedFrontierEngine`] equals the per-source
+//!   sequential-Dijkstra minimum oracle on arbitrary weighted graphs,
+//!   source sets, bucket widths, and pool sizes — distance-wise, owner-wise
+//!   (smallest source index among the nearest sources wins), and hop-wise
+//!   (fewest hops among that owner's shortest paths);
+//! * with unit weights the weighted engine degenerates to the unweighted
+//!   level-synchronous frontier;
+//! * `weighted_cluster` (engine-backed) is byte-identical to its retained
+//!   sequential heap oracle `weighted_cluster::naive` at every δ and pool
+//!   size, and every clustering it produces passes `validate`;
+//! * `weighted_diameter` brackets the true weighted diameter;
+//! * `WeightedGraph::from_edges` is a pure function of the edge multiset
+//!   (any permutation builds a byte-identical graph).
+
+use pardec::core::weighted_cluster::naive;
+use pardec::graph::frontier::{multi_source_bfs, FrontierStrategy};
+use pardec::graph::weighted::INFINITE_WEIGHT;
+use pardec::graph::wfrontier::multi_source_dijkstra;
+use pardec::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Deterministic per-edge weights in `1..=max_w` from an unweighted graph.
+fn weight_edges(g: &CsrGraph, salt: u64, max_w: u64) -> Vec<(NodeId, NodeId, u64)> {
+    g.edges()
+        .map(|(u, v)| {
+            let h = (u as u64)
+                .wrapping_mul(31)
+                .wrapping_add(v as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(salt);
+            (u, v, h % max_w + 1)
+        })
+        .collect()
+}
+
+/// An arbitrary weighted graph — workspace families with deterministic
+/// weights, unit-weight variants, and raw (possibly duplicated) edge lists.
+/// Not restricted to connected graphs.
+fn arbitrary_weighted() -> impl Strategy<Value = WeightedGraph> {
+    prop_oneof![
+        (2usize..10, 2usize..10, 1u64..500, 1u64..12).prop_map(|(r, c, s, w)| {
+            let g = generators::mesh(r, c);
+            WeightedGraph::from_edges(g.num_nodes(), &weight_edges(&g, s, w))
+        }),
+        (2usize..90, 0usize..160, 1u64..500, 1u64..60).prop_map(|(n, m, s, w)| {
+            let g = generators::gnm(n, m.min(n * (n - 1) / 2), s);
+            WeightedGraph::from_edges(g.num_nodes(), &weight_edges(&g, s, w))
+        }),
+        (4usize..70, 1u64..500).prop_map(|(n, s)| {
+            let g = generators::preferential_attachment(n, 3.min(n - 1), s);
+            WeightedGraph::from_edges(g.num_nodes(), &weight_edges(&g, s, 9))
+        }),
+        // Unit weights: the degenerate case that must match unweighted BFS.
+        (3usize..60, 0usize..100, 1u64..500).prop_map(|(n, m, s)| {
+            let g = generators::gnm(n, m.min(n * (n - 1) / 2), s);
+            let edges: Vec<_> = g.edges().map(|(u, v)| (u, v, 1u64)).collect();
+            WeightedGraph::from_edges(g.num_nodes(), &edges)
+        }),
+        // Raw edge soup: duplicates and both orientations allowed.
+        (
+            2usize..40,
+            proptest::collection::vec((0u32..40, 0u32..40, 1u64..30), 0..120)
+        )
+            .prop_map(|(n, raw)| {
+                let edges: Vec<_> = raw
+                    .into_iter()
+                    .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+                    .collect();
+                WeightedGraph::from_edges(n, &edges)
+            }),
+    ]
+}
+
+fn graph_and_sources() -> impl Strategy<Value = (WeightedGraph, Vec<NodeId>)> {
+    (
+        arbitrary_weighted(),
+        proptest::collection::vec(0usize..1 << 16, 1..6),
+    )
+        .prop_map(|(g, raw)| {
+            let n = g.num_nodes().max(1);
+            let sources = raw.iter().map(|&i| (i % n) as NodeId).collect();
+            (g, sources)
+        })
+}
+
+/// Runs `f` in a 1-thread and a 4-thread pool; returns both outputs.
+fn on_both_pools<T: Send>(f: impl Fn() -> T + Sync + Send) -> (T, T) {
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool construction cannot fail")
+            .install(&f)
+    };
+    (run(1), run(4))
+}
+
+/// Per-source sequential Dijkstra minimum oracle. Sources are deduplicated
+/// keeping first occurrence (as the engine does); per node the winning
+/// claim minimizes `(dist, source_index)`, with hops the fewest among the
+/// winner's shortest paths — the engine's packed-claim order.
+fn per_source_oracle(
+    g: &WeightedGraph,
+    sources: &[NodeId],
+) -> (Vec<NodeId>, Vec<u64>, Vec<u32>, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut dedup = Vec::new();
+    for &s in sources {
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            dedup.push(s);
+        }
+    }
+    let mut owner = vec![INVALID_NODE; n];
+    let mut dist = vec![INFINITE_WEIGHT; n];
+    let mut hops = vec![u32::MAX; n];
+    for (i, &s) in dedup.iter().enumerate() {
+        // Dijkstra over lexicographic (dist, hops) labels.
+        let mut best: Vec<(u64, u32)> = vec![(INFINITE_WEIGHT, u32::MAX); n];
+        let mut heap = BinaryHeap::new();
+        best[s as usize] = (0, 0);
+        heap.push(Reverse((0u64, 0u32, s)));
+        while let Some(Reverse((d, h, v))) = heap.pop() {
+            if (d, h) > best[v as usize] {
+                continue;
+            }
+            for (u, w) in g.neighbors(v) {
+                let cand = (d + w, h + 1);
+                if cand < best[u as usize] {
+                    best[u as usize] = cand;
+                    heap.push(Reverse((cand.0, cand.1, u)));
+                }
+            }
+        }
+        for v in 0..n {
+            let (d, h) = best[v];
+            if d < dist[v] {
+                dist[v] = d;
+                hops[v] = h;
+                owner[v] = i as NodeId;
+            }
+        }
+    }
+    (owner, dist, hops, dedup)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The bucketed engine equals the per-source Dijkstra oracle for every
+    /// bucket width, at 1 and 4 threads, byte for byte.
+    #[test]
+    fn engine_matches_dijkstra_oracle(
+        case in graph_and_sources(),
+        delta in prop_oneof![Just(1u64), 2u64..20, Just(1_000_000u64)],
+    ) {
+        let (g, sources) = case;
+        let (owner, dist, hops, dedup) = per_source_oracle(&g, &sources);
+        let (one, four) = on_both_pools(|| multi_source_dijkstra(&g, &sources, delta));
+        for parts in [one, four] {
+            prop_assert_eq!(&parts.sources, &dedup);
+            prop_assert_eq!(&parts.owner, &owner, "owner diverged at delta={}", delta);
+            prop_assert_eq!(&parts.weighted_dist, &dist, "dist diverged at delta={}", delta);
+            prop_assert_eq!(&parts.hops, &hops, "hops diverged at delta={}", delta);
+        }
+    }
+
+    /// Unit weights degenerate to the unweighted level-synchronous wave:
+    /// same owners, weighted distance = BFS level = hops.
+    #[test]
+    fn unit_weights_match_unweighted_frontier(
+        g in (3usize..70, 0usize..120, 1u64..500).prop_map(|(n, m, s)| {
+            generators::gnm(n, m.min(n * (n - 1) / 2), s)
+        }),
+        raw in proptest::collection::vec(0usize..1 << 16, 1..5),
+        delta in prop_oneof![Just(1u64), Just(3u64)],
+    ) {
+        let sources: Vec<NodeId> = raw.iter().map(|&i| (i % g.num_nodes()) as NodeId).collect();
+        let edges: Vec<_> = g.edges().map(|(u, v)| (u, v, 1u64)).collect();
+        let wg = WeightedGraph::from_edges(g.num_nodes(), &edges);
+        let parts = multi_source_dijkstra(&wg, &sources, delta);
+        let (bfs, owner) = multi_source_bfs(&g, &sources, FrontierStrategy::TopDown);
+        // The engine numbers owners by deduplicated activation order, the
+        // BFS by source-list position; both orders agree on first
+        // occurrences, so the winning *center node* is identical.
+        for v in 0..g.num_nodes() {
+            let engine_center =
+                (parts.owner[v] != INVALID_NODE).then(|| parts.sources[parts.owner[v] as usize]);
+            let bfs_center = (owner[v] != INVALID_NODE).then(|| sources[owner[v] as usize]);
+            prop_assert_eq!(engine_center, bfs_center, "owner diverged at node {}", v);
+        }
+        for v in 0..g.num_nodes() {
+            if bfs.dist[v] == INFINITE_DIST {
+                prop_assert_eq!(parts.weighted_dist[v], INFINITE_WEIGHT);
+            } else {
+                prop_assert_eq!(parts.weighted_dist[v], bfs.dist[v] as u64);
+                prop_assert_eq!(parts.hops[v], bfs.dist[v]);
+            }
+        }
+    }
+
+    /// Engine-backed `weighted_cluster` is byte-identical to the sequential
+    /// heap oracle at every δ and pool size, and the clustering validates.
+    #[test]
+    fn weighted_cluster_matches_naive_and_validates(
+        g in arbitrary_weighted(),
+        tau in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let params = ClusterParams::new(tau, seed);
+        let oracle = naive::weighted_cluster(&g, &params);
+        oracle.validate(&g).unwrap();
+        for delta in [1u64, 7, 100_000] {
+            let p = ClusterParams::new(tau, seed).with_delta(delta);
+            let (one, four) = on_both_pools(|| weighted_cluster(&g, &p));
+            prop_assert_eq!(&one, &oracle, "1-thread engine diverged at delta={}", delta);
+            prop_assert_eq!(&four, &oracle, "4-thread engine diverged at delta={}", delta);
+        }
+    }
+
+    /// Paper guarantee: the weighted diameter approximation brackets the
+    /// true (per-component max) weighted diameter, at any δ.
+    #[test]
+    fn weighted_diameter_brackets_truth(
+        g in arbitrary_weighted(),
+        tau in 1usize..4,
+        seed in 0u64..1000,
+        delta in prop_oneof![Just(1u64), 5u64..200],
+    ) {
+        let truth = g.apsp_diameter();
+        let a = weighted_diameter(&g, &ClusterParams::new(tau, seed).with_delta(delta));
+        prop_assert!(a.lower_bound <= truth, "lower {} > true {}", a.lower_bound, truth);
+        prop_assert!(a.upper_bound >= truth, "upper {} < true {}", a.upper_bound, truth);
+        prop_assert_eq!(a.quotient_nodes, a.clustering.num_clusters());
+        a.clustering.validate(&g).unwrap();
+    }
+
+    /// `from_edges` is order-independent: shuffling the edge list (and
+    /// flipping orientations) builds a byte-identical graph.
+    #[test]
+    fn from_edges_is_permutation_independent(
+        n in 1usize..40,
+        raw in proptest::collection::vec((0u32..40, 0u32..40, 1u64..50), 0..120),
+        shuffle_seed in 0u64..1000,
+    ) {
+        let edges: Vec<_> = raw
+            .into_iter()
+            .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+            .collect();
+        let reference = WeightedGraph::from_edges(n, &edges);
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        let mut permuted = edges;
+        for i in (1..permuted.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            permuted.swap(i, j);
+        }
+        for e in permuted.iter_mut() {
+            if rng.gen::<bool>() {
+                *e = (e.1, e.0, e.2); // orientation must not matter either
+            }
+        }
+        prop_assert_eq!(WeightedGraph::from_edges(n, &permuted), reference);
+    }
+}
