@@ -89,7 +89,8 @@ fn main() {
                 println!(
                     "{{\"bench\":\"frontier\",\"workload\":\"{}\",\"nodes\":{},\"edges\":{},\
                      \"sources\":{},\"strategy\":\"{}\",\"threads\":{},\"seconds\":{:.6},\
-                     \"speedup_vs_topdown\":{:.3},\"identical_output\":{}}}",
+                     \"speedup_vs_topdown\":{:.3},\"identical_output\":{},\
+                     \"peak_alloc_bytes\":{}}}",
                     workload,
                     g.num_nodes(),
                     g.num_edges(),
@@ -98,7 +99,8 @@ fn main() {
                     threads,
                     best,
                     speedup,
-                    identical
+                    identical,
+                    pardec_bench::alloc::peak_bytes(),
                 );
                 assert!(
                     identical,

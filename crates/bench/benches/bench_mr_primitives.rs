@@ -107,14 +107,16 @@ fn bench_shuffle(scale: Scale) {
         println!(
             "{{\"bench\":\"mr\",\"case\":\"shuffle-aggregate\",\"pairs\":{},\"keys\":{},\
              \"threads\":{},\"partitions\":{},\"seconds_naive\":{:.6},\"seconds_radix\":{:.6},\
-             \"speedup_radix_vs_naive\":{:.3}}}",
+             \"speedup_radix_vs_naive\":{:.3},\
+             \"peak_alloc_bytes\":{}}}",
             pairs,
             keys,
             threads,
             partitions,
             naive_secs,
             radix_secs,
-            naive_secs / radix_secs
+            naive_secs / radix_secs,
+            pardec_bench::alloc::peak_bytes(),
         );
     }
 }
@@ -147,7 +149,8 @@ fn bench_combiner(scale: Scale) {
         println!(
             "{{\"bench\":\"mr\",\"case\":\"combiner-powerlaw\",\"nodes\":{},\"arcs\":{},\
              \"partitions\":{},\"map_pairs\":{},\"shuffled_pairs\":{},\
-             \"combine_ratio\":{:.3},\"avg_degree\":{:.3},\"seconds\":{:.6}}}",
+             \"combine_ratio\":{:.3},\"avg_degree\":{:.3},\"seconds\":{:.6},\
+             \"peak_alloc_bytes\":{}}}",
             g.num_nodes(),
             g.num_arcs(),
             partitions,
@@ -155,7 +158,8 @@ fn bench_combiner(scale: Scale) {
             report.combined_messages,
             ratio,
             avg_degree,
-            secs
+            secs,
+            pardec_bench::alloc::peak_bytes(),
         );
         assert_eq!(report.messages, g.num_arcs() as u64);
         if partitions == 1 {
@@ -184,7 +188,9 @@ fn bench_primitives(scale: Scale) {
         mr_sort(&mut eng, items.clone(), 42).expect("sort cannot fail")
     });
     println!(
-        "{{\"bench\":\"mr\",\"case\":\"sort\",\"items\":{n},\"threads\":4,\"seconds\":{sort_secs:.6}}}"
+        "{{\"bench\":\"mr\",\"case\":\"sort\",\"items\":{n},\"threads\":4,\
+         \"seconds\":{sort_secs:.6},\"peak_alloc_bytes\":{}}}",
+        pardec_bench::alloc::peak_bytes(),
     );
     let values: Vec<u64> = (0..n).map(|i| i % 17).collect();
     let (_, prefix_secs) = best_of_3(4, || {
@@ -192,7 +198,9 @@ fn bench_primitives(scale: Scale) {
         mr_prefix_sum(&mut eng, values.clone()).expect("prefix sum cannot fail")
     });
     println!(
-        "{{\"bench\":\"mr\",\"case\":\"prefix-sum\",\"items\":{n},\"threads\":4,\"seconds\":{prefix_secs:.6}}}"
+        "{{\"bench\":\"mr\",\"case\":\"prefix-sum\",\"items\":{n},\"threads\":4,\
+         \"seconds\":{prefix_secs:.6},\"peak_alloc_bytes\":{}}}",
+        pardec_bench::alloc::peak_bytes(),
     );
     let side = match scale {
         Scale::Ci => 60usize,
@@ -203,10 +211,12 @@ fn bench_primitives(scale: Scale) {
     let (run, bfs_secs) = best_of_3(4, || mr_bfs(&g, 0));
     println!(
         "{{\"bench\":\"mr\",\"case\":\"vertex-bfs-mesh\",\"nodes\":{},\"threads\":4,\
-         \"supersteps\":{},\"seconds\":{:.6}}}",
+         \"supersteps\":{},\"seconds\":{:.6},\
+         \"peak_alloc_bytes\":{}}}",
         g.num_nodes(),
         run.supersteps,
-        bfs_secs
+        bfs_secs,
+        pardec_bench::alloc::peak_bytes(),
     );
 }
 

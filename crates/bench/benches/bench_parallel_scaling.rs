@@ -67,14 +67,16 @@ fn main() {
         println!(
             "{{\"bench\":\"parallel_scaling\",\"workload\":\"powerlaw-social\",\
              \"nodes\":{},\"edges\":{},\"tau\":{},\"threads\":{},\
-             \"seconds\":{:.6},\"speedup_vs_1\":{:.3},\"identical_output\":{}}}",
+             \"seconds\":{:.6},\"speedup_vs_1\":{:.3},\"identical_output\":{},\
+             \"peak_alloc_bytes\":{}}}",
             g.num_nodes(),
             g.num_edges(),
             tau,
             threads,
             best,
             speedup,
-            identical
+            identical,
+            pardec_bench::alloc::peak_bytes(),
         );
         assert!(
             identical,

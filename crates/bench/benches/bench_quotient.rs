@@ -80,7 +80,8 @@ fn main() {
                  \"nodes\":{},\"edges\":{},\"clusters\":{},\"cut_arcs\":{},\
                  \"quotient_arcs\":{},\"combine_ratio\":{:.3},\"threads\":{},\
                  \"seconds_naive\":{:.6},\"seconds_kernel\":{:.6},\
-                 \"speedup_kernel_vs_naive\":{:.3}}}",
+                 \"speedup_kernel_vs_naive\":{:.3},\
+                 \"peak_alloc_bytes\":{}}}",
                 name,
                 g.num_nodes(),
                 g.num_edges(),
@@ -91,7 +92,8 @@ fn main() {
                 threads,
                 naive_secs,
                 kernel_secs,
-                naive_secs / kernel_secs
+                naive_secs / kernel_secs,
+                pardec_bench::alloc::peak_bytes(),
             );
 
             // Weighted quotient: kernel min-combine vs the HashMap pass.
@@ -108,13 +110,15 @@ fn main() {
             println!(
                 "{{\"bench\":\"quotient\",\"case\":\"weighted\",\"graph\":\"{}\",\
                  \"clusters\":{},\"threads\":{},\"seconds_naive\":{:.6},\
-                 \"seconds_kernel\":{:.6},\"speedup_kernel_vs_naive\":{:.3}}}",
+                 \"seconds_kernel\":{:.6},\"speedup_kernel_vs_naive\":{:.3},\
+                 \"peak_alloc_bytes\":{}}}",
                 name,
                 k,
                 threads,
                 naive_secs,
                 kernel_secs,
-                naive_secs / kernel_secs
+                naive_secs / kernel_secs,
+                pardec_bench::alloc::peak_bytes(),
             );
 
             // Builder: the kernel symmetrize + scatter build vs the seed-era
@@ -134,13 +138,15 @@ fn main() {
             println!(
                 "{{\"bench\":\"quotient\",\"case\":\"builder\",\"graph\":\"{}\",\
                  \"edges\":{},\"threads\":{},\"seconds_naive\":{:.6},\
-                 \"seconds_kernel\":{:.6},\"speedup_kernel_vs_naive\":{:.3}}}",
+                 \"seconds_kernel\":{:.6},\"speedup_kernel_vs_naive\":{:.3},\
+                 \"peak_alloc_bytes\":{}}}",
                 name,
                 edges.len(),
                 threads,
                 naive_secs,
                 kernel_secs,
-                naive_secs / kernel_secs
+                naive_secs / kernel_secs,
+                pardec_bench::alloc::peak_bytes(),
             );
         }
 
@@ -150,8 +156,13 @@ fn main() {
         let (diam, secs) = best_of_3(4, || wq.apsp_diameter());
         println!(
             "{{\"bench\":\"quotient\",\"case\":\"weighted-apsp-diameter\",\"graph\":\"{}\",\
-             \"clusters\":{},\"diameter\":{},\"threads\":4,\"seconds\":{:.6}}}",
-            name, k, diam, secs
+             \"clusters\":{},\"diameter\":{},\"threads\":4,\"seconds\":{:.6},\
+             \"peak_alloc_bytes\":{}}}",
+            name,
+            k,
+            diam,
+            secs,
+            pardec_bench::alloc::peak_bytes(),
         );
     }
 }

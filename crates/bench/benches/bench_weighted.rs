@@ -87,7 +87,8 @@ fn main() {
                          \"nodes\":{},\"edges\":{},\"threads\":{},\"delta\":{},\
                          \"seconds\":{:.6},\"naive_seconds\":{:.6},\"speedup_vs_naive\":{:.3},\
                          \"clusters\":{},\"max_weighted_radius\":{},\"max_hop_radius\":{},\
-                         \"buckets\":{},\"rounds\":{},\"identical_output\":{}}}",
+                         \"buckets\":{},\"rounds\":{},\"identical_output\":{},\
+                         \"peak_alloc_bytes\":{}}}",
                         workload,
                         weights,
                         wg.num_nodes(),
@@ -102,7 +103,8 @@ fn main() {
                         r.clustering.max_hop_radius(),
                         r.trace.buckets,
                         r.trace.rounds.len(),
-                        identical
+                        identical,
+                        pardec_bench::alloc::peak_bytes(),
                     );
                     assert!(
                         identical,
@@ -117,7 +119,8 @@ fn main() {
             println!(
                 "{{\"bench\":\"weighted_diameter\",\"workload\":\"{}\",\"weights\":\"{}\",\
                  \"nodes\":{},\"edges\":{},\"seconds\":{:.6},\"lower\":{},\"upper\":{},\
-                 \"weighted_radius\":{},\"quotient_nodes\":{},\"quotient_edges\":{}}}",
+                 \"weighted_radius\":{},\"quotient_nodes\":{},\"quotient_edges\":{},\
+                 \"peak_alloc_bytes\":{}}}",
                 workload,
                 weights,
                 wg.num_nodes(),
@@ -127,7 +130,8 @@ fn main() {
                 a.upper_bound,
                 a.weighted_radius,
                 a.quotient_nodes,
-                a.quotient_edges
+                a.quotient_edges,
+                pardec_bench::alloc::peak_bytes(),
             );
             assert!(a.lower_bound <= a.upper_bound);
         }

@@ -183,8 +183,10 @@ fn report(threads: &str, batch: usize, result: &RunResult) {
     let qps = total as f64 / result.secs;
     println!(
         "{{\"bench\":\"serve\",\"threads\":\"{threads}\",\"batch\":{batch},\
-         \"requests\":{total},\"secs\":{:.4},\"qps\":{qps:.1}}}",
-        result.secs
+         \"requests\":{total},\"secs\":{:.4},\"qps\":{qps:.1},\
+         \"peak_alloc_bytes\":{}}}",
+        result.secs,
+        pardec_bench::alloc::peak_bytes(),
     );
     for op in ["dist", "cluster_of", "ecc", "nearest"] {
         let mut samples: Vec<u64> = result

@@ -19,13 +19,15 @@ fn emit(dataset: &str, algo: &str, rounds: usize, stats: &MrStats) {
     println!(
         "{{\"bench\":\"mr_accounting\",\"dataset\":\"{dataset}\",\"algo\":\"{algo}\",\
          \"rounds\":{rounds},\"map_pairs\":{},\"shuffled_pairs\":{},\
-         \"map_bytes\":{},\"shuffled_bytes\":{},\"peak_round_pairs\":{},\"peak_ml\":{}}}",
+         \"map_bytes\":{},\"shuffled_bytes\":{},\"peak_round_pairs\":{},\"peak_ml\":{},\
+         \"peak_alloc_bytes\":{}}}",
         stats.total_map_pairs(),
         stats.total_pairs(),
         stats.total_map_bytes(),
         stats.total_bytes(),
         stats.max_round_pairs(),
         stats.max_local_memory(),
+        pardec_bench::alloc::peak_bytes(),
     );
 }
 
@@ -37,9 +39,11 @@ fn main() {
         let n = g.num_nodes();
         let tau = workloads::tau_for_target(n, (n / 100).max(120));
 
+        pardec_bench::alloc::reset_peak();
         let r = mr_cluster(g, &ClusterParams::new(tau, 11));
         emit(d.name, "CLUSTER", r.supersteps, &r.stats);
 
+        pardec_bench::alloc::reset_peak();
         let b = mr_bfs(g, 0);
         emit(d.name, "BFS", b.supersteps, &b.stats);
 
@@ -49,6 +53,7 @@ fn main() {
         } else {
             4
         };
+        pardec_bench::alloc::reset_peak();
         let (h, stats) = mr_hadi(g, &p);
         emit(d.name, "HADI", h.iterations, &stats);
         eprintln!("[mr_accounting] {} done", d.name);

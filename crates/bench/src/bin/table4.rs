@@ -96,7 +96,7 @@ fn main() {
         ]);
         // Cross-check against the exact diameter on small quotients only.
         let _ = apsp_diameter; // (used by table3 path; kept for parity)
-        let _ = bfs_parallel;
+        let _ = bfs_parallel::<pardec_graph::CsrGraph>;
     }
     t.print();
     println!("\npaper shape: on long-diameter graphs CLUSTER beats BFS by ~8-20x and HADI by");

@@ -13,16 +13,26 @@
 //! | `ablation_radius` | extra — Lemma 1 radius-vs-τ shape |
 //! | `mr_accounting` | extra — §5 round/communication ledger (JSONL) |
 //! | `bench_serve` | extra — serve-daemon load generator (JSONL) |
+//! | `bench_compressed` | extra — gap-coded vs plain CSR backend (JSONL) |
 //! | `trace_check` | extra — validates `--trace` JSONL artifacts |
 //!
 //! Every binary accepts `--scale {ci,default,full}` (or the `PARDEC_SCALE`
 //! environment variable); `ci` keeps the full suite within a couple of
 //! minutes, `full` reproduces the paper's mesh at 1000×1000.
 
+pub mod alloc;
 pub mod report;
 pub mod workloads;
 
 use std::time::Instant;
+
+/// Bench binaries link this crate, so registering here gives every bench
+/// process heap accounting without touching the library crates. Gated by
+/// the default-on `count-alloc` feature (`--no-default-features` restores
+/// the plain system allocator).
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL_COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Wall-clock timing of a closure, returning `(result, seconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {

@@ -86,6 +86,7 @@ const VALUED_KEYS: &[&str] = &[
     "accept-threads",
     "trace",
     "delta",
+    "backend",
 ];
 
 impl Args {
@@ -215,6 +216,21 @@ impl Args {
                     expected: "a positive integer",
                 }),
             },
+        }
+    }
+
+    /// The `--backend` option: adjacency storage backend, `None` when
+    /// unspecified (the backend then follows `PARDEC_BACKEND`, falling back
+    /// to plain CSR). A memory/wall-clock knob only — outputs are
+    /// byte-identical under either backend.
+    pub fn backend(&self) -> Result<Option<pardec_graph::Backend>, ArgError> {
+        match self.options.get("backend") {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| ArgError::BadValue {
+                key: "backend".to_string(),
+                value: raw.to_string(),
+                expected: "plain or compressed",
+            }),
         }
     }
 
@@ -370,6 +386,30 @@ mod tests {
         assert_eq!(
             parse("clust weighted --delta").unwrap_err(),
             ArgError::MissingValue("delta".into())
+        );
+    }
+
+    #[test]
+    fn backend_option() {
+        use pardec_graph::Backend;
+        assert_eq!(parse("stats --graph g").unwrap().backend().unwrap(), None);
+        assert_eq!(
+            parse("clust cluster --graph g --backend compressed")
+                .unwrap()
+                .backend(),
+            Ok(Some(Backend::Compressed))
+        );
+        assert_eq!(
+            parse("clust cluster --graph g --backend plain")
+                .unwrap()
+                .backend(),
+            Ok(Some(Backend::Plain))
+        );
+        let a = parse("clust cluster --graph g --backend zstd").unwrap();
+        assert!(matches!(a.backend(), Err(ArgError::BadValue { .. })));
+        assert_eq!(
+            parse("clust cluster --backend").unwrap_err(),
+            ArgError::MissingValue("backend".into())
         );
     }
 

@@ -35,6 +35,11 @@ global options:
                   shapes the communication ledger, never results)
   --trace FILE    write a JSONL span/metric trace to FILE at exit
                   (default: PARDEC_TRACE, else off; never changes results)
+  --backend B     adjacency storage backend for Session-backed commands:
+                  plain | compressed (default: PARDEC_BACKEND, else plain;
+                  compressed holds gap-coded varint CSR — a fraction of the
+                  memory, a varint decode per neighbor; output is
+                  byte-identical either way)
 
 command tree:
   generate        --family mesh|torus|road|social|ba|gnm|lollipop
@@ -190,6 +195,9 @@ fn session_params(
     let mut params = SessionParams::new(tau, seed(args)?)
         .with_algo(algo)
         .with_frontier(frontier(args)?);
+    if let Some(b) = args.backend()? {
+        params = params.with_backend(b);
+    }
     params.build_oracle = build_oracle;
     Ok(params)
 }
@@ -283,6 +291,7 @@ fn cmd_clust(args: &Args, algo: &str) -> CmdResult {
     let clustering = session.clustering();
     let sizes = clustering.cluster_sizes();
     println!("algorithm     {}", params.algo.name());
+    println!("backend       {}", session.backend());
     println!("clusters      {}", clustering.num_clusters());
     println!("max radius    {}", clustering.max_radius());
     println!(
@@ -447,7 +456,7 @@ fn cmd_dist_approx(args: &Args) -> CmdResult {
     );
     println!("growth steps         {}", a.growth_steps);
     if args.has_flag("exact") {
-        let exact = diameter::exact_diameter(session.graph());
+        let exact = diameter::exact_diameter(&session.graph().to_csr());
         println!("exact diameter       {exact}");
         println!(
             "approximation ratio  {:.3}",
@@ -489,7 +498,7 @@ fn cmd_snapshot_info(args: &Args) -> CmdResult {
         bytes.len(),
         snap.sections().len()
     );
-    println!("tag    ver       offset        bytes");
+    println!("tag    ver       offset        bytes   share");
     for e in snap.sections() {
         let tag: String = e
             .tag
@@ -498,8 +507,30 @@ fn cmd_snapshot_info(args: &Args) -> CmdResult {
             .map(|&b| if b.is_ascii_graphic() { b as char } else { '.' })
             .collect();
         println!(
-            "{tag:<4}  {:>4}  {:>11}  {:>11}",
-            e.version, e.offset, e.len
+            "{tag:<4}  {:>4}  {:>11}  {:>11}  {:>5.1}%",
+            e.version,
+            e.offset,
+            e.len,
+            100.0 * e.len as f64 / bytes.len().max(1) as f64
+        );
+    }
+    println!("graph backend {}", snap.graph_backend());
+    if let Some(e) = snap
+        .sections()
+        .iter()
+        .find(|e| e.tag == io::SECTION_GRAPH_COMPRESSED)
+    {
+        // Compression ledger: the stored gap-coded section vs. what the
+        // same graph would occupy as a plain `GRPH` payload
+        // (n, arcs, (n+1) offsets, arcs targets).
+        let repr = snap.graph_repr()?;
+        let (n, arcs) = (repr.num_nodes(), repr.num_arcs());
+        let plain = 16 + 8 * (n as u64 + 1) + 4 * arcs as u64;
+        println!(
+            "compression   {} bytes vs {plain} plain CSR ({:.2}x, {:.2} bytes/edge)",
+            e.len,
+            plain as f64 / e.len.max(1) as f64,
+            e.len as f64 / (arcs / 2).max(1) as f64
         );
     }
     if snap.section(SECTION_CLUSTERING).is_some() {
@@ -810,6 +841,48 @@ mod tests {
         assert!(dispatch(&args("snapshot info --snapshot /nonexistent")).is_err());
         let _ = std::fs::remove_file(graph_path);
         let _ = std::fs::remove_file(snap_path);
+    }
+
+    #[test]
+    fn compressed_backend_round_trips_through_cli() {
+        let graph_path = tmp("snap-comp-src.txt");
+        let snap_path = tmp("snap-comp.pdec");
+        let snap_plain = tmp("snap-plain.pdec");
+        dispatch(&args(&format!(
+            "generate --family ba --nodes 500 --attach 4 --out {graph_path}"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "clust cluster --graph {graph_path} --tau 2 --backend compressed"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "snapshot save --graph {graph_path} --tau 2 --out {snap_path} --backend compressed"
+        )))
+        .unwrap();
+        dispatch(&args(&format!(
+            "snapshot save --graph {graph_path} --tau 2 --out {snap_plain} --backend plain"
+        )))
+        .unwrap();
+        // info handles the compressed graph section (and its ratio line).
+        dispatch(&args(&format!("snapshot info --snapshot {snap_path}"))).unwrap();
+        let bytes = std::fs::read(&snap_path).unwrap();
+        let plain_bytes = std::fs::read(&snap_plain).unwrap();
+        assert!(bytes.len() < plain_bytes.len());
+        let c = Session::load(&bytes, FrontierStrategy::TopDown).unwrap();
+        let p = Session::load(&plain_bytes, FrontierStrategy::TopDown).unwrap();
+        assert_eq!(c.backend(), pardec_graph::Backend::Compressed);
+        assert_eq!(p.backend(), pardec_graph::Backend::Plain);
+        // Identical decomposition regardless of the stored backend.
+        assert_eq!(c.clustering(), p.clustering());
+        assert_eq!(c.oracle(), p.oracle());
+        assert!(dispatch(&args(&format!(
+            "clust cluster --graph {graph_path} --backend nosuch"
+        )))
+        .is_err());
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(snap_path);
+        let _ = std::fs::remove_file(snap_plain);
     }
 
     #[test]

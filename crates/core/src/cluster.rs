@@ -20,7 +20,7 @@
 use crate::clustering::Clustering;
 use crate::growth::GrowthEngine;
 use pardec_graph::frontier::FrontierStrategy;
-use pardec_graph::{CsrGraph, NodeId};
+use pardec_graph::{NeighborAccess, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -132,7 +132,7 @@ pub(crate) fn log2n(n: usize) -> f64 {
 /// Works on disconnected graphs too (§3.2): unreachable regions keep
 /// receiving fresh batches until the loop threshold is passed, and whatever
 /// remains becomes singleton clusters.
-pub fn cluster(g: &CsrGraph, params: &ClusterParams) -> ClusterResult {
+pub fn cluster<G: NeighborAccess>(g: &G, params: &ClusterParams) -> ClusterResult {
     let n = g.num_nodes();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut eng = GrowthEngine::with_strategy(g, params.frontier);
@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = CsrGraph::empty(0);
+        let g = pardec_graph::CsrGraph::empty(0);
         let r = cluster(&g, &ClusterParams::new(1, 0));
         assert_eq!(r.clustering.num_clusters(), 0);
     }

@@ -21,7 +21,7 @@
 use crate::cluster::{cluster, ClusterParams, ClusterTrace, IterationTrace};
 use crate::clustering::Clustering;
 use crate::growth::GrowthEngine;
-use pardec_graph::{CsrGraph, NodeId};
+use pardec_graph::{NeighborAccess, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,7 +42,7 @@ pub struct Cluster2Result {
 ///
 /// The probe CLUSTER(τ) uses `seed`, the main loop `seed + 1`, so the two
 /// phases draw independent randomness while staying reproducible.
-pub fn cluster2(g: &CsrGraph, params: &ClusterParams) -> Cluster2Result {
+pub fn cluster2<G: NeighborAccess>(g: &G, params: &ClusterParams) -> Cluster2Result {
     let n = g.num_nodes();
     let probe = cluster(g, params);
     // R_ALG = 0 happens when the probe degenerates to singletons (tiny or

@@ -1,7 +1,9 @@
 //! The [`Clustering`] type: the common output of CLUSTER, CLUSTER2, and MPX,
 //! with structural validation used throughout the test suite.
 
-use pardec_graph::{quotient, CombineStats, CsrGraph, NodeId, WeightedGraph, INVALID_NODE};
+use pardec_graph::{
+    quotient, CombineStats, CsrGraph, NeighborAccess, NodeId, WeightedGraph, INVALID_NODE,
+};
 
 /// A partition of a graph's nodes into disjoint, internally connected
 /// clusters grown around centers.
@@ -52,18 +54,18 @@ impl Clustering {
     }
 
     /// The unweighted quotient graph `G_C` (§4).
-    pub fn quotient(&self, g: &CsrGraph) -> CsrGraph {
+    pub fn quotient<G: NeighborAccess>(&self, g: &G) -> CsrGraph {
         quotient::quotient(g, &self.assignment, self.num_clusters())
     }
 
     /// [`Self::quotient`], also returning the combine kernel's ledger (cut
     /// arcs in, quotient arcs out).
-    pub fn quotient_with_stats(&self, g: &CsrGraph) -> (CsrGraph, CombineStats) {
+    pub fn quotient_with_stats<G: NeighborAccess>(&self, g: &G) -> (CsrGraph, CombineStats) {
         quotient::quotient_with_stats(g, &self.assignment, self.num_clusters())
     }
 
     /// The weighted quotient graph of §4, with connecting-path edge weights.
-    pub fn weighted_quotient(&self, g: &CsrGraph) -> WeightedGraph {
+    pub fn weighted_quotient<G: NeighborAccess>(&self, g: &G) -> WeightedGraph {
         quotient::weighted_quotient(
             g,
             &self.assignment,
@@ -74,7 +76,10 @@ impl Clustering {
 
     /// [`Self::weighted_quotient`], also returning the combine kernel's
     /// ledger.
-    pub fn weighted_quotient_with_stats(&self, g: &CsrGraph) -> (WeightedGraph, CombineStats) {
+    pub fn weighted_quotient_with_stats<G: NeighborAccess>(
+        &self,
+        g: &G,
+    ) -> (WeightedGraph, CombineStats) {
         quotient::weighted_quotient_with_stats(
             g,
             &self.assignment,
@@ -85,7 +90,7 @@ impl Clustering {
 
     /// Checks all structural invariants against `g`; returns the first
     /// violation found.
-    pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+    pub fn validate<G: NeighborAccess>(&self, g: &G) -> Result<(), String> {
         let n = g.num_nodes();
         let k = self.num_clusters();
         if self.assignment.len() != n || self.dist_to_center.len() != n {
@@ -129,7 +134,7 @@ impl Clustering {
                 continue;
             }
             let c = self.assignment[v as usize];
-            let ok = g.neighbors(v).iter().any(|&u| {
+            let ok = g.neighbors_iter(v).any(|u| {
                 self.assignment[u as usize] == c && self.dist_to_center[u as usize] == d - 1
             });
             if !ok {
@@ -154,7 +159,7 @@ impl Clustering {
     /// (within the *whole* graph) from the center to the cluster's members.
     /// Always ≤ the growth radii; Table 2 reports growth radii, this is a
     /// diagnostic.
-    pub fn exact_radii(&self, g: &CsrGraph) -> Vec<u32> {
+    pub fn exact_radii<G: NeighborAccess>(&self, g: &G) -> Vec<u32> {
         use pardec_graph::traversal::bfs;
         self.centers
             .iter()

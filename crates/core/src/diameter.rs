@@ -18,7 +18,7 @@ use crate::cluster2::cluster2;
 use crate::clustering::Clustering;
 use pardec_graph::diameter as exact;
 use pardec_graph::frontier::FrontierStrategy;
-use pardec_graph::{CombineStats, CsrGraph};
+use pardec_graph::{CombineStats, NeighborAccess};
 
 /// Which decomposition feeds the quotient construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,7 +119,7 @@ impl DiameterApprox {
 ///
 /// On disconnected graphs every bound refers to the largest per-component
 /// value, mirroring [`pardec_graph::diameter::exact_diameter`].
-pub fn approximate_diameter(g: &CsrGraph, params: &DiameterParams) -> DiameterApprox {
+pub fn approximate_diameter<G: NeighborAccess>(g: &G, params: &DiameterParams) -> DiameterApprox {
     let cp = ClusterParams::new(params.tau.max(1), params.seed).with_frontier(params.frontier);
     let (clustering, growth_steps) = match params.decomposition {
         Decomposition::Cluster => {
@@ -144,8 +144,8 @@ pub fn approximate_diameter(g: &CsrGraph, params: &DiameterParams) -> DiameterAp
 /// Only `params.weighted`, `params.sparsify_above`, and `params.seed` (for
 /// the spanner) are read; the decomposition fields describe work already
 /// done. `growth_steps` is echoed into the result's ledger.
-pub fn approximate_diameter_of_clustering(
-    g: &CsrGraph,
+pub fn approximate_diameter_of_clustering<G: NeighborAccess>(
+    g: &G,
     clustering: Clustering,
     growth_steps: usize,
     params: &DiameterParams,
@@ -198,7 +198,7 @@ mod tests {
     use super::*;
     use pardec_graph::generators;
 
-    fn sandwich(g: &CsrGraph, params: &DiameterParams) -> (u64, DiameterApprox) {
+    fn sandwich(g: &pardec_graph::CsrGraph, params: &DiameterParams) -> (u64, DiameterApprox) {
         let delta = exact::exact_diameter(g) as u64;
         let a = approximate_diameter(g, params);
         a.clustering.validate(g).unwrap();

@@ -14,24 +14,29 @@
 //! counts, *and* strategies.
 
 use pardec_graph::frontier::{FrontierEngine, FrontierStrategy};
-use pardec_graph::{CsrGraph, NodeId};
+use pardec_graph::{CsrGraph, NeighborAccess, NodeId};
 
 use crate::clustering::Clustering;
 
 /// Incremental multi-source disjoint BFS with dynamically added centers.
-pub struct GrowthEngine<'g> {
-    inner: FrontierEngine<'g>,
+///
+/// Generic over the adjacency backend ([`NeighborAccess`]): growth on a
+/// compressed graph produces the same byte-identical [`Clustering`] as on
+/// plain CSR, because both backends yield identical sorted neighbor
+/// sequences.
+pub struct GrowthEngine<'g, G: NeighborAccess = CsrGraph> {
+    inner: FrontierEngine<'g, G>,
 }
 
-impl<'g> GrowthEngine<'g> {
+impl<'g, G: NeighborAccess> GrowthEngine<'g, G> {
     /// A fresh engine over `g` with no clusters, expanding with the ambient
     /// default strategy (`PARDEC_FRONTIER`, else top-down).
-    pub fn new(g: &'g CsrGraph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         Self::with_strategy(g, FrontierStrategy::default_from_env())
     }
 
     /// A fresh engine over `g` expanding with the given frontier strategy.
-    pub fn with_strategy(g: &'g CsrGraph, strategy: FrontierStrategy) -> Self {
+    pub fn with_strategy(g: &'g G, strategy: FrontierStrategy) -> Self {
         GrowthEngine {
             inner: FrontierEngine::new(g, strategy),
         }

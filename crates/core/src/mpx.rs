@@ -17,7 +17,7 @@
 use crate::clustering::Clustering;
 use crate::growth::GrowthEngine;
 use pardec_graph::frontier::FrontierStrategy;
-use pardec_graph::{CsrGraph, NodeId};
+use pardec_graph::{NeighborAccess, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,14 +38,14 @@ pub struct MpxResult {
 ///
 /// # Panics
 /// Panics if `beta` is not strictly positive and finite.
-pub fn mpx(g: &CsrGraph, beta: f64, seed: u64) -> MpxResult {
+pub fn mpx<G: NeighborAccess>(g: &G, beta: f64, seed: u64) -> MpxResult {
     mpx_with_frontier(g, beta, seed, FrontierStrategy::default_from_env())
 }
 
 /// As [`mpx`] with an explicit frontier expansion strategy. The clustering
 /// is byte-identical across strategies; only wall-clock time differs.
-pub fn mpx_with_frontier(
-    g: &CsrGraph,
+pub fn mpx_with_frontier<G: NeighborAccess>(
+    g: &G,
     beta: f64,
     seed: u64,
     strategy: FrontierStrategy,
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = CsrGraph::empty(0);
+        let g = pardec_graph::CsrGraph::empty(0);
         let r = mpx(&g, 0.5, 0);
         assert_eq!(r.clustering.num_clusters(), 0);
     }

@@ -17,7 +17,7 @@ use crate::cluster::ClusterParams;
 use crate::cluster2::cluster2;
 use crate::clustering::Clustering;
 use crate::diameter::Decomposition;
-use pardec_graph::{CsrGraph, NodeId};
+use pardec_graph::{NeighborAccess, NodeId};
 
 /// Approximate distance oracle built from a clustering (§4).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,7 +34,12 @@ pub struct DistanceOracle {
 impl DistanceOracle {
     /// Builds the oracle with CLUSTER2(τ) (the paper's construction) or
     /// plain CLUSTER (cheaper probe, same query logic).
-    pub fn build(g: &CsrGraph, tau: usize, seed: u64, decomposition: Decomposition) -> Self {
+    pub fn build<G: NeighborAccess>(
+        g: &G,
+        tau: usize,
+        seed: u64,
+        decomposition: Decomposition,
+    ) -> Self {
         let params = ClusterParams::new(tau.max(1), seed);
         let clustering: Clustering = match decomposition {
             Decomposition::Cluster2 => cluster2(g, &params).clustering,
@@ -52,7 +57,7 @@ impl DistanceOracle {
     }
 
     /// Builds from an existing clustering (reuse after a diameter run).
-    pub fn from_clustering(g: &CsrGraph, clustering: &Clustering) -> Self {
+    pub fn from_clustering<G: NeighborAccess>(g: &G, clustering: &Clustering) -> Self {
         let wq = clustering.weighted_quotient(g);
         DistanceOracle {
             radius: clustering.max_radius(),
@@ -167,7 +172,7 @@ mod tests {
     use pardec_graph::generators;
     use pardec_graph::traversal::bfs;
 
-    fn check_oracle(g: &CsrGraph, oracle: &DistanceOracle, sources: &[NodeId]) {
+    fn check_oracle(g: &pardec_graph::CsrGraph, oracle: &DistanceOracle, sources: &[NodeId]) {
         for &u in sources {
             let truth = bfs(g, u).dist;
             for v in (0..g.num_nodes() as NodeId).step_by(7) {

@@ -44,8 +44,8 @@ use crate::mpx::mpx_with_frontier;
 use crate::oracle::DistanceOracle;
 use bytes::{Buf, BufMut};
 use pardec_graph::frontier::{FrontierEngine, FrontierStrategy};
-use pardec_graph::io::{save_snapshot, SectionData, Snapshot};
-use pardec_graph::{CsrGraph, NodeId, INFINITE_DIST, INVALID_NODE};
+use pardec_graph::io::{save_snapshot_repr, SectionData, Snapshot};
+use pardec_graph::{Backend, CsrGraph, GraphRepr, NodeId, INFINITE_DIST, INVALID_NODE};
 use std::io::{self, Write};
 
 /// Section tag for the persisted [`Clustering`] (`b"CLUS"`).
@@ -96,10 +96,15 @@ pub struct SessionParams {
     /// Also build the §4 distance oracle (costs one quotient APSP; enables
     /// `distance` / `eccentricity` queries).
     pub build_oracle: bool,
+    /// Adjacency storage backend the resident graph is held under. Like
+    /// `frontier`, a memory/wall-clock knob only: every backend produces
+    /// byte-identical clusterings, oracles, and query answers.
+    pub backend: Backend,
 }
 
 impl SessionParams {
-    /// CLUSTER(τ) with the ambient frontier default and an oracle.
+    /// CLUSTER(τ) with the ambient frontier default and an oracle. The
+    /// backend follows `PARDEC_BACKEND` (default: plain).
     pub fn new(tau: usize, seed: u64) -> Self {
         SessionParams {
             tau,
@@ -107,7 +112,14 @@ impl SessionParams {
             algo: SessionAlgo::Cluster,
             frontier: FrontierStrategy::default_from_env(),
             build_oracle: true,
+            backend: Backend::resolve(None),
         }
+    }
+
+    /// Selects the adjacency storage backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Selects the decomposition algorithm.
@@ -193,7 +205,7 @@ impl std::error::Error for SessionError {}
 /// A loaded decomposition ready to answer query batches.
 #[derive(Clone, Debug)]
 pub struct Session {
-    graph: CsrGraph,
+    graph: GraphRepr,
     clustering: Clustering,
     oracle: Option<DistanceOracle>,
     frontier: FrontierStrategy,
@@ -202,12 +214,20 @@ pub struct Session {
 
 impl Session {
     /// Runs the decomposition (and optionally the oracle construction) on
-    /// `graph`, producing a resident session.
+    /// `graph`, producing a resident session. The graph is stored under
+    /// `params.backend` (compressing it first when asked).
     pub fn build(graph: CsrGraph, params: &SessionParams) -> Session {
+        Session::build_repr(GraphRepr::from_csr(graph, params.backend), params)
+    }
+
+    /// As [`Session::build`] on a graph already held under a backend (the
+    /// streaming-build path, where no plain CSR ever existed in memory).
+    pub fn build_repr(graph: GraphRepr, params: &SessionParams) -> Session {
         let mut build_span = pardec_obs::span!(
             "session.build",
             nodes = graph.num_nodes(),
             oracle = params.build_oracle,
+            backend = graph.backend().to_string(),
         );
         let cp = ClusterParams::new(params.tau.max(1), params.seed).with_frontier(params.frontier);
         let (clustering, growth_steps) = match params.algo {
@@ -244,7 +264,7 @@ impl Session {
     /// Assembles a session from already-validated parts (the snapshot load
     /// path and tests).
     pub fn from_parts(
-        graph: CsrGraph,
+        graph: GraphRepr,
         clustering: Clustering,
         oracle: Option<DistanceOracle>,
         frontier: FrontierStrategy,
@@ -267,9 +287,14 @@ impl Session {
         })
     }
 
-    /// The loaded graph.
-    pub fn graph(&self) -> &CsrGraph {
+    /// The loaded graph, under whichever backend it is stored.
+    pub fn graph(&self) -> &GraphRepr {
         &self.graph
+    }
+
+    /// Adjacency storage backend of the resident graph.
+    pub fn backend(&self) -> Backend {
+        self.graph.backend()
     }
 
     /// The resident clustering.
@@ -444,7 +469,7 @@ impl Session {
                 payload: encode_oracle(oracle),
             });
         }
-        save_snapshot(&self.graph, &sections, w)
+        save_snapshot_repr(&self.graph, &sections, w)
     }
 
     /// Loads a session snapshot through the **fast** graph path (structural
@@ -466,9 +491,9 @@ impl Session {
             pardec_obs::span!("snapshot.load", bytes = bytes.len(), checked = checked,);
         let snap = Snapshot::parse(bytes)?;
         let graph = if checked {
-            snap.graph_checked()?
+            snap.graph_repr_checked()?
         } else {
-            snap.graph()?
+            snap.graph_repr()?
         };
         let (clus_version, clus) = snap
             .section(SECTION_CLUSTERING)
@@ -789,6 +814,51 @@ mod tests {
         let mut bad = buf.clone();
         bad[clus_off..clus_off + 8].copy_from_slice(&999u64.to_le_bytes());
         assert!(Session::load(&bad, FrontierStrategy::TopDown).is_err());
+    }
+
+    #[test]
+    fn compressed_backend_is_byte_identical_and_round_trips() {
+        let g = generators::preferential_attachment(600, 4, 3);
+        let plain = Session::build(
+            g.clone(),
+            &SessionParams::new(4, 7).with_backend(Backend::Plain),
+        );
+        let comp = Session::build(
+            g,
+            &SessionParams::new(4, 7).with_backend(Backend::Compressed),
+        );
+        assert_eq!(comp.backend(), Backend::Compressed);
+        // The backend is a storage knob only: decomposition and oracle are
+        // byte-identical.
+        assert_eq!(plain.clustering(), comp.clustering());
+        assert_eq!(plain.oracle(), comp.oracle());
+        assert_eq!(plain.growth_steps(), comp.growth_steps());
+        let (pd, _) = plain.distance(&[(0, 599), (17, 300)]).unwrap();
+        let (cd, _) = comp.distance(&[(0, 599), (17, 300)]).unwrap();
+        assert_eq!(pd, cd);
+        let (pn, _) = plain.nearest(&[0, 599], &[5, 250, 400]).unwrap();
+        let (cn, _) = comp.nearest(&[0, 599], &[5, 250, 400]).unwrap();
+        assert_eq!(pn, cn);
+        let dp = plain.diameter(true, None);
+        let dc = comp.diameter(true, None);
+        assert_eq!(dp.lower_bound, dc.lower_bound);
+        assert_eq!(dp.estimate(), dc.estimate());
+        // Snapshots preserve the backend through both read paths.
+        let mut buf = Vec::new();
+        comp.save(&mut buf).unwrap();
+        for loaded in [
+            Session::load(&buf, comp.frontier()).unwrap(),
+            Session::load_checked(&buf, comp.frontier()).unwrap(),
+        ] {
+            assert_eq!(loaded.backend(), Backend::Compressed);
+            assert_eq!(loaded.graph(), comp.graph());
+            assert_eq!(loaded.clustering(), comp.clustering());
+            assert_eq!(loaded.oracle(), comp.oracle());
+        }
+        // The compressed snapshot is smaller than the plain one.
+        let mut plain_buf = Vec::new();
+        plain.save(&mut plain_buf).unwrap();
+        assert!(buf.len() < plain_buf.len());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! [`induced_subgraph`] extracts the subgraph on an arbitrary node subset
 //! with an id mapping — used by per-component analyses.
 
+use crate::access::NeighborAccess;
 use crate::combine::{self, pack, unpack};
 use crate::{CsrGraph, GraphBuilder, NodeId, INVALID_NODE};
 
@@ -102,7 +103,7 @@ pub struct Contraction {
 ///
 /// # Panics
 /// Panics if `labels.len() != g.num_nodes()` or a label is `≥ num_labels`.
-pub fn contract(g: &CsrGraph, labels: &[NodeId], num_labels: usize) -> Contraction {
+pub fn contract<G: NeighborAccess>(g: &G, labels: &[NodeId], num_labels: usize) -> Contraction {
     assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
     let mut node_weight = vec![0u64; num_labels];
     for &l in labels {
@@ -117,7 +118,7 @@ pub fn contract(g: &CsrGraph, labels: &[NodeId], num_labels: usize) -> Contracti
         |u| crate::quotient::cut_degree(g, labels, u),
         |u, emit| {
             let a = labels[u];
-            for &v in g.upper_neighbors(u as NodeId) {
+            for v in g.upper_neighbors_iter(u as NodeId) {
                 let b = labels[v as usize];
                 if b != a {
                     emit.push((pack(a.min(b), a.max(b)), 1));
@@ -153,7 +154,7 @@ pub fn contract(g: &CsrGraph, labels: &[NodeId], num_labels: usize) -> Contracti
 
 /// Extracts the subgraph induced by `nodes` (need not be sorted; duplicates
 /// are ignored). Returns the subgraph and `orig_id[new] = old`.
-pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+pub fn induced_subgraph<G: NeighborAccess>(g: &G, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
     let mut new_id = vec![INVALID_NODE; g.num_nodes()];
     let mut orig_id: Vec<NodeId> = Vec::with_capacity(nodes.len());
     for &v in nodes {
@@ -165,7 +166,7 @@ pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId
     }
     let mut b = GraphBuilder::new(orig_id.len());
     for &v in &orig_id {
-        for &w in g.neighbors(v) {
+        for w in g.neighbors_iter(v) {
             if v < w && new_id[w as usize] != INVALID_NODE {
                 b.add_edge(new_id[v as usize], new_id[w as usize]);
             }
@@ -181,7 +182,7 @@ pub fn induced_subgraph(g: &CsrGraph, nodes: &[NodeId]) -> (CsrGraph, Vec<NodeId
 /// BFS ordering places each node near its neighbours in memory, improving
 /// the cache behaviour of frontier scans — a standard preprocessing step for
 /// the level-synchronous traversals every algorithm in this workspace runs.
-pub fn relabel_bfs(g: &CsrGraph, root: NodeId) -> (CsrGraph, Vec<NodeId>) {
+pub fn relabel_bfs<G: NeighborAccess>(g: &G, root: NodeId) -> (CsrGraph, Vec<NodeId>) {
     let n = g.num_nodes();
     assert!((root as usize) < n || n == 0, "root out of range");
     let mut old_of_new: Vec<NodeId> = Vec::with_capacity(n);
@@ -191,7 +192,7 @@ pub fn relabel_bfs(g: &CsrGraph, root: NodeId) -> (CsrGraph, Vec<NodeId>) {
         new_of_old[root as usize] = 0;
         old_of_new.push(root);
         while let Some(u) = queue.pop_front() {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors_iter(u) {
                 if new_of_old[v as usize] == INVALID_NODE {
                     new_of_old[v as usize] = old_of_new.len() as NodeId;
                     old_of_new.push(v);
@@ -207,8 +208,10 @@ pub fn relabel_bfs(g: &CsrGraph, root: NodeId) -> (CsrGraph, Vec<NodeId>) {
         }
     }
     let mut b = GraphBuilder::with_capacity(n, g.num_edges());
-    for (u, v) in g.edges() {
-        b.add_edge(new_of_old[u as usize], new_of_old[v as usize]);
+    for u in 0..n as NodeId {
+        for v in g.upper_neighbors_iter(u) {
+            b.add_edge(new_of_old[u as usize], new_of_old[v as usize]);
+        }
     }
     (b.build(), old_of_new)
 }

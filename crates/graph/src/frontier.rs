@@ -45,6 +45,7 @@
 //! (`topdown` | `bottomup` | `hybrid`), so the whole test suite can be
 //! re-run under a different engine without touching code.
 
+use crate::access::NeighborAccess;
 use crate::traversal::BfsResult;
 use crate::{CsrGraph, NodeId, INFINITE_DIST, INVALID_NODE};
 use rayon::prelude::*;
@@ -188,8 +189,14 @@ pub struct FrontierParts {
 /// MPX); each claims the unclaimed nodes its wave reaches first, ties broken
 /// by the deterministic smallest-`(owner, dist)` rule described in the
 /// module docs.
-pub struct FrontierEngine<'g> {
-    g: &'g CsrGraph,
+///
+/// Generic over the adjacency backend: any [`NeighborAccess`] implementor
+/// (plain [`CsrGraph`], compressed [`crate::CcsrGraph`], or the runtime
+/// [`crate::GraphRepr`]) drives the identical wave — the backend only
+/// changes how neighbor lists are materialized, never their content, so
+/// the determinism contract above carries over byte-for-byte.
+pub struct FrontierEngine<'g, G: NeighborAccess = CsrGraph> {
+    g: &'g G,
     strategy: FrontierStrategy,
     params: FrontierParams,
     owner: Vec<AtomicU32>,
@@ -216,18 +223,14 @@ pub struct FrontierEngine<'g> {
     switches: usize,
 }
 
-impl<'g> FrontierEngine<'g> {
+impl<'g, G: NeighborAccess> FrontierEngine<'g, G> {
     /// A fresh engine over `g` with no active sources.
-    pub fn new(g: &'g CsrGraph, strategy: FrontierStrategy) -> Self {
+    pub fn new(g: &'g G, strategy: FrontierStrategy) -> Self {
         Self::with_params(g, strategy, FrontierParams::default())
     }
 
     /// As [`FrontierEngine::new`] with explicit heuristic parameters.
-    pub fn with_params(
-        g: &'g CsrGraph,
-        strategy: FrontierStrategy,
-        params: FrontierParams,
-    ) -> Self {
+    pub fn with_params(g: &'g G, strategy: FrontierStrategy, params: FrontierParams) -> Self {
         let n = g.num_nodes();
         FrontierEngine {
             g,
@@ -433,7 +436,7 @@ impl<'g> FrontierEngine<'g> {
                     owner[u as usize].load(Ordering::Relaxed),
                     dist[u as usize].load(Ordering::Relaxed) + 1,
                 );
-                for &v in g.neighbors(u) {
+                for v in g.neighbors_iter(u) {
                     if owner[v as usize].load(Ordering::Relaxed) == INVALID_NODE {
                         let cur = proposals[v as usize].load(Ordering::Relaxed);
                         if cur == NO_PROPOSAL {
@@ -466,7 +469,7 @@ impl<'g> FrontierEngine<'g> {
                     owner[u as usize].load(Ordering::Relaxed),
                     dist[u as usize].load(Ordering::Relaxed) + 1,
                 );
-                for &v in g.neighbors(u) {
+                for v in g.neighbors_iter(u) {
                     if owner[v as usize].load(Ordering::Relaxed) == INVALID_NODE {
                         proposals[v as usize].fetch_min(prop, Ordering::Relaxed);
                         acc.push(v);
@@ -535,7 +538,7 @@ impl<'g> FrontierEngine<'g> {
                 return None;
             }
             let mut best = NO_PROPOSAL;
-            for &u in g.neighbors(v) {
+            for u in g.neighbors_iter(v) {
                 if bitmap[u as usize / 64].load(Ordering::Relaxed) >> (u % 64) & 1 == 1 {
                     let p = pack(
                         owner[u as usize].load(Ordering::Relaxed),
@@ -566,8 +569,8 @@ impl<'g> FrontierEngine<'g> {
 /// of the claiming source ([`INVALID_NODE`] if unreachable). A node listed
 /// twice in `sources` keeps its first owner. For every strategy,
 /// `owner[v]` is the smallest source index among the sources nearest to `v`.
-pub fn multi_source_bfs(
-    g: &CsrGraph,
+pub fn multi_source_bfs<G: NeighborAccess>(
+    g: &G,
     sources: &[NodeId],
     strategy: FrontierStrategy,
 ) -> (BfsResult, Vec<NodeId>) {
@@ -611,7 +614,11 @@ pub fn multi_source_bfs(
 }
 
 /// Single-source BFS through the engine.
-pub fn single_source_bfs(g: &CsrGraph, src: NodeId, strategy: FrontierStrategy) -> BfsResult {
+pub fn single_source_bfs<G: NeighborAccess>(
+    g: &G,
+    src: NodeId,
+    strategy: FrontierStrategy,
+) -> BfsResult {
     multi_source_bfs(g, std::slice::from_ref(&src), strategy).0
 }
 

@@ -54,7 +54,8 @@
 //! any byte yields an error (asserted exhaustively by the tests here and
 //! property-tested in `tests/proptests_session.rs`).
 
-use crate::{CsrGraph, GraphBuilder, NodeId, WeightedGraph};
+use crate::ccsr::BLOCK;
+use crate::{Backend, CcsrGraph, CsrGraph, GraphBuilder, GraphRepr, NodeId, WeightedGraph};
 use bytes::{Buf, BufMut};
 use rayon::prelude::*;
 use std::io::{self, BufRead, Write};
@@ -70,6 +71,23 @@ pub const SECTION_GRAPH: u32 = u32::from_le_bytes(*b"GRPH");
 
 /// Current payload version written for [`SECTION_GRAPH`].
 pub const SECTION_GRAPH_VERSION: u32 = 1;
+
+/// Section tag of the gap-coded compressed graph payload (`b"GRPC"`):
+///
+/// ```text
+/// n        u64 LE
+/// arcs     u64 LE                      (= 2m)
+/// data_len u64 LE
+/// index    ⌈n / BLOCK⌉ × u64 LE
+/// data     data_len bytes              (concatenated varint records)
+/// ```
+///
+/// A snapshot carries exactly one graph section — [`SECTION_GRAPH`] *or*
+/// this one, chosen by the writer's [`Backend`].
+pub const SECTION_GRAPH_COMPRESSED: u32 = u32::from_le_bytes(*b"GRPC");
+
+/// Current payload version written for [`SECTION_GRAPH_COMPRESSED`].
+pub const SECTION_GRAPH_COMPRESSED_VERSION: u32 = 1;
 
 /// Upper bound on the section count a reader will accept — far above any
 /// legitimate snapshot, low enough that a hostile count cannot drive a
@@ -320,6 +338,49 @@ fn decode_graph_checked(body: &[u8]) -> io::Result<CsrGraph> {
     Ok(b.build())
 }
 
+/// Encodes the [`SECTION_GRAPH_COMPRESSED`] payload.
+fn encode_cgraph_body(c: &CcsrGraph) -> Vec<u8> {
+    let data = c.raw_data();
+    let index = c.raw_index();
+    let mut buf = Vec::with_capacity(24 + index.len() * 8 + data.len());
+    buf.put_u64_le(c.num_nodes() as u64);
+    buf.put_u64_le(c.num_arcs() as u64);
+    buf.put_u64_le(data.len() as u64);
+    for &o in index {
+        buf.put_u64_le(o);
+    }
+    buf.put_slice(data);
+    buf
+}
+
+/// Decodes a [`SECTION_GRAPH_COMPRESSED`] payload. Always runs the full
+/// O(n + m) [`CcsrGraph::validate_parts`] pass — the decoder's trusted-path
+/// readers panic on malformed varints, so unvalidated bytes must never
+/// reach them. Symmetry is *not* checked here; [`Snapshot::graph_checked`]
+/// (and the checked repr path) decompresses and re-runs the full CSR
+/// invariants on top.
+fn decode_cgraph(body: &[u8]) -> io::Result<CcsrGraph> {
+    let mut buf = body;
+    if buf.remaining() < 24 {
+        return Err(data_err("truncated compressed graph header"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let arcs = buf.get_u64_le() as usize;
+    let data_len = buf.get_u64_le() as usize;
+    let index_len = n.div_ceil(BLOCK);
+    let expected = index_len
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(data_len))
+        .ok_or_else(|| data_err("compressed header sizes overflow"))?;
+    if buf.remaining() != expected {
+        return Err(data_err("compressed graph length mismatch"));
+    }
+    let index: Vec<u64> = (0..index_len).map(|_| buf.get_u64_le()).collect();
+    let data = buf.to_vec();
+    CcsrGraph::validate_parts(n, arcs, &data, &index).map_err(data_err)?;
+    Ok(CcsrGraph::from_raw_parts(n, arcs, data, index))
+}
+
 /// Serializes `g` into the `PDEC1` binary snapshot format (graph only; use
 /// [`save_snapshot`] to persist additional sections).
 pub fn save_binary(g: &CsrGraph, w: &mut impl Write) -> io::Result<()> {
@@ -350,12 +411,50 @@ pub struct SectionData {
 /// must not pass that tag themselves. Payloads are laid out in argument
 /// order, each 8-byte aligned.
 pub fn save_snapshot(g: &CsrGraph, extra: &[SectionData], w: &mut impl Write) -> io::Result<()> {
+    save_snapshot_sections(
+        SECTION_GRAPH,
+        SECTION_GRAPH_VERSION,
+        encode_graph_body(g),
+        extra,
+        w,
+    )
+}
+
+/// [`save_snapshot`] for either backend: a plain repr writes a
+/// [`SECTION_GRAPH`] section, a compressed repr a
+/// [`SECTION_GRAPH_COMPRESSED`] one — so the on-disk footprint follows the
+/// in-memory choice and a reload round-trips the backend.
+pub fn save_snapshot_repr(
+    g: &GraphRepr,
+    extra: &[SectionData],
+    w: &mut impl Write,
+) -> io::Result<()> {
+    match g {
+        GraphRepr::Plain(g) => save_snapshot(g, extra, w),
+        GraphRepr::Compressed(c) => save_snapshot_sections(
+            SECTION_GRAPH_COMPRESSED,
+            SECTION_GRAPH_COMPRESSED_VERSION,
+            encode_cgraph_body(c),
+            extra,
+            w,
+        ),
+    }
+}
+
+fn save_snapshot_sections(
+    graph_tag: u32,
+    graph_version: u32,
+    graph_body: Vec<u8>,
+    extra: &[SectionData],
+    w: &mut impl Write,
+) -> io::Result<()> {
     assert!(
-        extra.iter().all(|s| s.tag != SECTION_GRAPH),
+        extra
+            .iter()
+            .all(|s| s.tag != SECTION_GRAPH && s.tag != SECTION_GRAPH_COMPRESSED),
         "the graph section is written implicitly"
     );
     assert!(extra.len() < MAX_SECTIONS, "too many sections");
-    let graph_body = encode_graph_body(g);
     let count = 1 + extra.len();
     let table_end = MAGIC_V2.len() + 8 + count * ENTRY_BYTES;
 
@@ -365,9 +464,8 @@ pub fn save_snapshot(g: &CsrGraph, extra: &[SectionData], w: &mut impl Write) ->
     header.put_u32_le(count as u32);
     let mut cursor = table_end;
     let mut offsets = Vec::with_capacity(count);
-    for (tag, version, len) in
-        std::iter::once((SECTION_GRAPH, SECTION_GRAPH_VERSION, graph_body.len()))
-            .chain(extra.iter().map(|s| (s.tag, s.version, s.payload.len())))
+    for (tag, version, len) in std::iter::once((graph_tag, graph_version, graph_body.len()))
+        .chain(extra.iter().map(|s| (s.tag, s.version, s.payload.len())))
     {
         cursor = cursor.next_multiple_of(8);
         header.put_u32_le(tag);
@@ -486,7 +584,10 @@ impl<'a> Snapshot<'a> {
         if end != bytes.len() {
             return Err(data_err("trailing bytes after last section"));
         }
-        if !entries.iter().any(|e| e.tag == SECTION_GRAPH) {
+        if !entries
+            .iter()
+            .any(|e| e.tag == SECTION_GRAPH || e.tag == SECTION_GRAPH_COMPRESSED)
+        {
             return Err(data_err("snapshot has no graph section"));
         }
         Ok(Snapshot { bytes, entries })
@@ -508,7 +609,7 @@ impl<'a> Snapshot<'a> {
     fn graph_body(&self) -> io::Result<&'a [u8]> {
         let (version, body) = self
             .section(SECTION_GRAPH)
-            .ok_or_else(|| data_err("snapshot has no graph section"))?;
+            .ok_or_else(|| data_err("snapshot has no plain graph section"))?;
         if version != SECTION_GRAPH_VERSION {
             return Err(data_err(format!(
                 "unsupported graph section version {version}"
@@ -517,17 +618,75 @@ impl<'a> Snapshot<'a> {
         Ok(body)
     }
 
+    fn cgraph_body(&self) -> io::Result<&'a [u8]> {
+        let (version, body) = self
+            .section(SECTION_GRAPH_COMPRESSED)
+            .ok_or_else(|| data_err("snapshot has no compressed graph section"))?;
+        if version != SECTION_GRAPH_COMPRESSED_VERSION {
+            return Err(data_err(format!(
+                "unsupported compressed graph section version {version}"
+            )));
+        }
+        Ok(body)
+    }
+
+    /// Which [`Backend`] the snapshot's graph section was written with.
+    pub fn graph_backend(&self) -> Backend {
+        if self.section(SECTION_GRAPH).is_some() {
+            Backend::Plain
+        } else {
+            Backend::Compressed
+        }
+    }
+
     /// Decodes the graph through the **fast path**: structural checks and a
     /// bulk copy, no per-edge rebuild (see the module docs' trust
-    /// contract). This is the resident-daemon startup path.
+    /// contract). This is the resident-daemon startup path. A compressed
+    /// snapshot is decompressed (its records are validated first — the
+    /// compressed layout has no unchecked fast path).
     pub fn graph(&self) -> io::Result<CsrGraph> {
-        decode_graph_fast(self.graph_body()?)
+        if self.section(SECTION_GRAPH).is_some() {
+            decode_graph_fast(self.graph_body()?)
+        } else {
+            Ok(decode_cgraph(self.cgraph_body()?)?.to_csr())
+        }
     }
 
     /// Decodes the graph through the **checked fallback path**: every edge
     /// re-runs through [`GraphBuilder`]. Use for files of unknown origin.
     pub fn graph_checked(&self) -> io::Result<CsrGraph> {
-        decode_graph_checked(self.graph_body()?)
+        if self.section(SECTION_GRAPH).is_some() {
+            decode_graph_checked(self.graph_body()?)
+        } else {
+            let c = decode_cgraph(self.cgraph_body()?)?;
+            let g = c.to_csr();
+            g.check_invariants().map_err(data_err)?;
+            Ok(g)
+        }
+    }
+
+    /// Decodes the graph into the backend it was written with: a plain
+    /// section loads through the fast path, a compressed section stays
+    /// compressed (validated, never decompressed).
+    pub fn graph_repr(&self) -> io::Result<GraphRepr> {
+        if self.section(SECTION_GRAPH).is_some() {
+            Ok(GraphRepr::Plain(decode_graph_fast(self.graph_body()?)?))
+        } else {
+            Ok(GraphRepr::Compressed(decode_cgraph(self.cgraph_body()?)?))
+        }
+    }
+
+    /// [`Snapshot::graph_repr`] through the checked path: both backends
+    /// additionally decompress/rebuild and verify the full CSR invariants
+    /// (sorted, symmetric, loop-free).
+    pub fn graph_repr_checked(&self) -> io::Result<GraphRepr> {
+        if self.section(SECTION_GRAPH).is_some() {
+            Ok(GraphRepr::Plain(decode_graph_checked(self.graph_body()?)?))
+        } else {
+            let c = decode_cgraph(self.cgraph_body()?)?;
+            c.to_csr().check_invariants().map_err(data_err)?;
+            Ok(GraphRepr::Compressed(c))
+        }
     }
 }
 
@@ -756,6 +915,64 @@ mod tests {
         let mut bad = buf.clone();
         bad.push(0);
         assert!(Snapshot::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn compressed_snapshot_round_trips_both_read_paths() {
+        let g = generators::preferential_attachment(400, 4, 11);
+        let repr = GraphRepr::from_csr(g.clone(), Backend::Compressed);
+        let extra = [SectionData {
+            tag: TAG_A,
+            version: 2,
+            payload: vec![8, 7, 6],
+        }];
+        let mut buf = Vec::new();
+        save_snapshot_repr(&repr, &extra, &mut buf).unwrap();
+        let snap = Snapshot::parse(&buf).unwrap();
+        assert_eq!(snap.graph_backend(), Backend::Compressed);
+        assert_eq!(snap.sections()[0].tag, SECTION_GRAPH_COMPRESSED);
+        assert_eq!(snap.section(TAG_A), Some((2, &[8u8, 7, 6][..])));
+        // CSR views agree with the original on both paths.
+        assert_eq!(snap.graph().unwrap(), g);
+        assert_eq!(snap.graph_checked().unwrap(), g);
+        // The repr path preserves the backend without decompressing.
+        let loaded = snap.graph_repr().unwrap();
+        assert_eq!(loaded.backend(), Backend::Compressed);
+        assert_eq!(loaded.to_csr().as_ref(), &g);
+        assert_eq!(snap.graph_repr_checked().unwrap().to_csr().as_ref(), &g);
+        // A plain snapshot reports the plain backend through the same API.
+        let mut plain_buf = Vec::new();
+        save_snapshot_repr(&GraphRepr::Plain(g.clone()), &[], &mut plain_buf).unwrap();
+        let plain_snap = Snapshot::parse(&plain_buf).unwrap();
+        assert_eq!(plain_snap.graph_backend(), Backend::Plain);
+        assert_eq!(plain_snap.graph_repr().unwrap().backend(), Backend::Plain);
+        // Compression shows up on disk too.
+        assert!(buf.len() < plain_buf.len());
+    }
+
+    /// Every proper prefix of a compressed snapshot is an error on every
+    /// read path — the same promise the plain section makes.
+    #[test]
+    fn compressed_snapshot_every_truncation_is_an_error() {
+        let g = generators::mesh(6, 5);
+        let repr = GraphRepr::from_csr(g, Backend::Compressed);
+        let mut buf = Vec::new();
+        save_snapshot_repr(&repr, &[], &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                Snapshot::parse(&buf[..cut])
+                    .and_then(|s| s.graph_repr())
+                    .is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Corrupting the record bytes is caught by validation.
+        let snap = Snapshot::parse(&buf).unwrap();
+        let data_start = snap.sections()[0].offset + 24;
+        let mut bad = buf.clone();
+        bad[data_start] ^= 0x80; // grow a varint past its record
+        let res = Snapshot::parse(&bad).and_then(|s| s.graph_repr());
+        assert!(res.is_err());
     }
 
     #[test]

@@ -40,7 +40,9 @@
 //! assert_eq!(dist[99], 18); // opposite corner of the mesh
 //! ```
 
+pub mod access;
 pub mod builder;
+pub mod ccsr;
 pub mod combine;
 pub mod components;
 pub mod contract;
@@ -51,8 +53,10 @@ pub mod generators;
 pub mod io;
 pub mod naive;
 pub mod quotient;
+pub mod repr;
 pub mod spanner;
 pub mod stats;
+pub mod stream;
 pub mod traversal;
 pub mod union_find;
 pub mod weighted;
@@ -68,24 +72,30 @@ pub const INVALID_NODE: NodeId = NodeId::MAX;
 /// Sentinel distance for unreachable nodes.
 pub const INFINITE_DIST: u32 = u32::MAX;
 
+pub use access::{NeighborAccess, WeightedNeighborAccess};
 pub use builder::GraphBuilder;
+pub use ccsr::{CcsrBuilder, CcsrGraph, CweightedGraph};
 pub use combine::CombineStats;
 pub use csr::CsrGraph;
 pub use frontier::FrontierStrategy;
+pub use repr::{Backend, GraphRepr};
 pub use weighted::WeightedGraph;
 pub use wfrontier::WeightedFrontierEngine;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::access::{NeighborAccess, WeightedNeighborAccess};
     pub use crate::builder::GraphBuilder;
+    pub use crate::ccsr::{CcsrBuilder, CcsrGraph, CweightedGraph};
     pub use crate::combine::CombineStats;
     pub use crate::csr::CsrGraph;
     pub use crate::frontier::FrontierStrategy;
+    pub use crate::repr::{Backend, GraphRepr};
     pub use crate::weighted::WeightedGraph;
     pub use crate::wfrontier::WeightedFrontierEngine;
     pub use crate::{
-        combine, components, diameter, frontier, generators, io, quotient, stats, traversal,
-        wfrontier,
+        ccsr, combine, components, diameter, frontier, generators, io, quotient, repr, stats,
+        stream, traversal, wfrontier,
     };
     pub use crate::{NodeId, INFINITE_DIST, INVALID_NODE};
 }

@@ -15,11 +15,12 @@
 //! the quotient's CSR arrays. The seed-era sequential `HashMap` passes
 //! survive as [`crate::naive`] oracles.
 
+use crate::access::NeighborAccess;
 use crate::combine::{self, pack, CombineStats};
 use crate::{CsrGraph, NodeId, WeightedGraph};
 use rayon::prelude::*;
 
-fn assert_labels(g: &CsrGraph, labels: &[NodeId], num_clusters: usize) {
+fn assert_labels<G: NeighborAccess>(g: &G, labels: &[NodeId], num_clusters: usize) {
     assert_eq!(labels.len(), g.num_nodes(), "label array size mismatch");
     if !labels.par_iter().all(|&c| (c as usize) < num_clusters) {
         let bad = labels.iter().find(|&&c| (c as usize) >= num_clusters);
@@ -31,24 +32,23 @@ fn assert_labels(g: &CsrGraph, labels: &[NodeId], num_clusters: usize) {
 /// each undirected cut edge is counted at exactly one endpoint) — the
 /// shared count pass of every contraction emit in this module and
 /// [`crate::contract`].
-pub(crate) fn cut_degree(g: &CsrGraph, labels: &[NodeId], u: usize) -> usize {
+pub(crate) fn cut_degree<G: NeighborAccess>(g: &G, labels: &[NodeId], u: usize) -> usize {
     let cu = labels[u];
-    g.upper_neighbors(u as NodeId)
-        .iter()
-        .filter(|&&v| labels[v as usize] != cu)
+    g.upper_neighbors_iter(u as NodeId)
+        .filter(|&v| labels[v as usize] != cu)
         .count()
 }
 
 /// Emits one normalized `(min(cluster), max(cluster))` key per undirected
 /// cut edge of `g` under `labels`, node-parallel with a two-pass count +
 /// scatter.
-fn cut_half_arcs(g: &CsrGraph, labels: &[NodeId]) -> Vec<u64> {
+fn cut_half_arcs<G: NeighborAccess>(g: &G, labels: &[NodeId]) -> Vec<u64> {
     combine::par_emit(
         g.num_nodes(),
         |u| cut_degree(g, labels, u),
         |u, emit| {
             let cu = labels[u];
-            for &v in g.upper_neighbors(u as NodeId) {
+            for v in g.upper_neighbors_iter(u as NodeId) {
                 let cv = labels[v as usize];
                 if cv != cu {
                     emit.push(pack(cu.min(cv), cu.max(cv)));
@@ -64,14 +64,14 @@ fn cut_half_arcs(g: &CsrGraph, labels: &[NodeId]) -> Vec<u64> {
 ///
 /// # Panics
 /// Panics if `labels.len() != g.num_nodes()` or a label is out of range.
-pub fn quotient(g: &CsrGraph, labels: &[NodeId], num_clusters: usize) -> CsrGraph {
+pub fn quotient<G: NeighborAccess>(g: &G, labels: &[NodeId], num_clusters: usize) -> CsrGraph {
     quotient_with_stats(g, labels, num_clusters).0
 }
 
 /// [`quotient`], also returning the combine kernel's ledger (undirected cut
 /// edges in, unique quotient edges out).
-pub fn quotient_with_stats(
-    g: &CsrGraph,
+pub fn quotient_with_stats<G: NeighborAccess>(
+    g: &G,
     labels: &[NodeId],
     num_clusters: usize,
 ) -> (CsrGraph, CombineStats) {
@@ -87,8 +87,8 @@ pub fn quotient_with_stats(
 /// the §4 connecting-path length restricted to the two clusters (BFS-tree
 /// paths to the centers stay within their cluster by construction of
 /// disjoint growth).
-pub fn weighted_quotient(
-    g: &CsrGraph,
+pub fn weighted_quotient<G: NeighborAccess>(
+    g: &G,
     labels: &[NodeId],
     dist_to_center: &[u32],
     num_clusters: usize,
@@ -97,8 +97,8 @@ pub fn weighted_quotient(
 }
 
 /// [`weighted_quotient`], also returning the combine kernel's ledger.
-pub fn weighted_quotient_with_stats(
-    g: &CsrGraph,
+pub fn weighted_quotient_with_stats<G: NeighborAccess>(
+    g: &G,
     labels: &[NodeId],
     dist_to_center: &[u32],
     num_clusters: usize,
@@ -121,7 +121,7 @@ pub fn weighted_quotient_with_stats(
         |u, emit| {
             let cu = labels[u];
             let du = dist_to_center[u] as u64;
-            for &v in g.upper_neighbors(u as NodeId) {
+            for v in g.upper_neighbors_iter(u as NodeId) {
                 let cv = labels[v as usize];
                 if cv != cu {
                     let key = pack(cu.min(cv), cu.max(cv));
@@ -229,7 +229,7 @@ pub fn weighted_graph_quotient_with_stats(
 /// Number of edges of `g` crossing between distinct clusters (each counted
 /// once). This is the paper's `m_C` *before* multi-edge collapsing; the
 /// quotient's own `num_edges` gives the collapsed count.
-pub fn cut_size(g: &CsrGraph, labels: &[NodeId]) -> usize {
+pub fn cut_size<G: NeighborAccess>(g: &G, labels: &[NodeId]) -> usize {
     (0..g.num_nodes())
         .into_par_iter()
         .map(|u| cut_degree(g, labels, u))

@@ -10,8 +10,9 @@
 //! independent reference that the engine's property tests
 //! (`tests/proptests_frontier.rs`) compare against.
 
+use crate::access::NeighborAccess;
 use crate::frontier::{self, FrontierStrategy};
-use crate::{CsrGraph, NodeId, INFINITE_DIST, INVALID_NODE};
+use crate::{NodeId, INFINITE_DIST, INVALID_NODE};
 
 /// Result of a (single- or multi-source) BFS.
 #[derive(Clone, Debug)]
@@ -52,7 +53,7 @@ impl BfsResult {
 /// loop of the outer-parallel routines in [`crate::diameter`] (BFS from
 /// every source in parallel), where a nested parallel engine would only add
 /// overhead.
-pub fn bfs(g: &CsrGraph, src: NodeId) -> BfsResult {
+pub fn bfs<G: NeighborAccess>(g: &G, src: NodeId) -> BfsResult {
     let n = g.num_nodes();
     let mut dist = vec![INFINITE_DIST; n];
     let mut frontier = vec![src];
@@ -63,7 +64,7 @@ pub fn bfs(g: &CsrGraph, src: NodeId) -> BfsResult {
     while !frontier.is_empty() {
         next.clear();
         for &u in &frontier {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors_iter(u) {
                 if dist[v as usize] == INFINITE_DIST {
                     dist[v as usize] = level + 1;
                     next.push(v);
@@ -86,7 +87,7 @@ pub fn bfs(g: &CsrGraph, src: NodeId) -> BfsResult {
 
 /// Sequential BFS that also records parent pointers (for path extraction,
 /// e.g. the double-sweep midpoint used by iFUB).
-pub fn bfs_with_parents(g: &CsrGraph, src: NodeId) -> (BfsResult, Vec<NodeId>) {
+pub fn bfs_with_parents<G: NeighborAccess>(g: &G, src: NodeId) -> (BfsResult, Vec<NodeId>) {
     let n = g.num_nodes();
     let mut dist = vec![INFINITE_DIST; n];
     let mut parent = vec![INVALID_NODE; n];
@@ -98,7 +99,7 @@ pub fn bfs_with_parents(g: &CsrGraph, src: NodeId) -> (BfsResult, Vec<NodeId>) {
     while !frontier.is_empty() {
         next.clear();
         for &u in &frontier {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors_iter(u) {
                 if dist[v as usize] == INFINITE_DIST {
                     dist[v as usize] = level + 1;
                     parent[v as usize] = u;
@@ -132,7 +133,7 @@ pub fn bfs_with_parents(g: &CsrGraph, src: NodeId) -> (BfsResult, Vec<NodeId>) {
 /// bottom-up or hybrid engine should use
 /// [`frontier::multi_source_bfs`] directly — all strategies produce
 /// identical output.
-pub fn bfs_multi(g: &CsrGraph, sources: &[NodeId]) -> (BfsResult, Vec<NodeId>) {
+pub fn bfs_multi<G: NeighborAccess>(g: &G, sources: &[NodeId]) -> (BfsResult, Vec<NodeId>) {
     frontier::multi_source_bfs(g, sources, FrontierStrategy::TopDown)
 }
 
@@ -142,12 +143,12 @@ pub fn bfs_multi(g: &CsrGraph, sources: &[NodeId]) -> (BfsResult, Vec<NodeId>) {
 /// [`crate::frontier`] engine; a node is claimed with an atomic min-merge on
 /// its proposal slot, so distances — and every other observable — are
 /// identical to sequential BFS at any thread count.
-pub fn bfs_parallel(g: &CsrGraph, src: NodeId) -> BfsResult {
+pub fn bfs_parallel<G: NeighborAccess>(g: &G, src: NodeId) -> BfsResult {
     frontier::single_source_bfs(g, src, FrontierStrategy::TopDown)
 }
 
 /// Eccentricity of `u`: the maximum BFS distance to any reachable node.
-pub fn eccentricity(g: &CsrGraph, u: NodeId) -> u32 {
+pub fn eccentricity<G: NeighborAccess>(g: &G, u: NodeId) -> u32 {
     bfs(g, u).levels
 }
 
@@ -157,7 +158,7 @@ pub fn eccentricity(g: &CsrGraph, u: NodeId) -> u32 {
 /// optimization for low-diameter graphs, where the middle levels touch most
 /// of the graph. Produces distances identical to [`bfs`]. This is the
 /// [`crate::frontier`] engine's hybrid strategy.
-pub fn bfs_direction_optimizing(g: &CsrGraph, src: NodeId) -> BfsResult {
+pub fn bfs_direction_optimizing<G: NeighborAccess>(g: &G, src: NodeId) -> BfsResult {
     frontier::single_source_bfs(g, src, FrontierStrategy::Hybrid)
 }
 

@@ -14,6 +14,13 @@ use std::collections::BinaryHeap;
 /// Sentinel for "unreachable" in weighted distance arrays.
 pub const INFINITE_WEIGHT: u64 = u64::MAX;
 
+/// Sorted `(neighbor, weight)` iterator of one node (see
+/// [`WeightedGraph::wneighbor_iter`]).
+pub type WNeighborIter<'a> = std::iter::Zip<
+    std::iter::Copied<std::slice::Iter<'a, NodeId>>,
+    std::iter::Copied<std::slice::Iter<'a, u64>>,
+>;
+
 /// Undirected graph with `u64` edge weights in CSR form. Parallel edges are
 /// collapsed to their minimum weight at construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,6 +118,13 @@ impl WeightedGraph {
     /// Neighbours of `u` with weights.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.wneighbor_iter(u)
+    }
+
+    /// [`Self::neighbors`] with a nameable iterator type — the GAT of the
+    /// [`crate::access::WeightedNeighborAccess`] impl.
+    #[inline]
+    pub fn wneighbor_iter(&self, u: NodeId) -> WNeighborIter<'_> {
         let u = u as usize;
         let range = self.offsets[u]..self.offsets[u + 1];
         self.targets[range.clone()]

@@ -20,7 +20,7 @@
 use crate::config::MrConfig;
 use crate::shuffle::ShuffleSize;
 use crate::stats::{MrStats, RoundStats};
-use pardec_graph::{CsrGraph, NodeId};
+use pardec_graph::{CsrGraph, NeighborAccess, NodeId};
 use rayon::prelude::*;
 
 /// A message type with a commutative, associative merge.
@@ -52,13 +52,13 @@ pub struct StepReport {
 }
 
 /// Per-sender-chunk scratch for map-side combining: a dense
-/// destination → cell-slot map with epoch tagging, so clearing between
-/// supersteps is O(1).
+/// offset-within-partition → cell-slot map with epoch tagging, so clearing
+/// between partitions and supersteps is O(1).
 ///
-/// Footprint: `2 × n × u32` per chunk, up to `partitions` chunks — fine at
-/// the workloads this workspace runs, but `O(partitions × n)` in the worst
-/// case; ROADMAP records the per-partition-range / sort-based alternatives
-/// for multi-million-node graphs.
+/// Footprint: `2 × ⌈n / partitions⌉ × u32` per chunk — `O(n)` total across
+/// all chunks, where the previous full-width (`2 × n × u32` per chunk)
+/// layout was `O(partitions × n)`. The combine pass walks one partition
+/// cell at a time, so a partition-range-wide map suffices.
 struct ChunkScratch {
     /// Slot of the destination's combined entry in its cell.
     slot: Vec<u32>,
@@ -93,8 +93,8 @@ impl ChunkScratch {
 /// `apply` closure of each step; messages queued by `apply` (or seeded with
 /// [`VertexEngine::post`]) are broadcast to **all neighbours** of the vertex
 /// at the start of the next step.
-pub struct VertexEngine<'g, S, M> {
-    g: &'g CsrGraph,
+pub struct VertexEngine<'g, S, M, G: NeighborAccess = CsrGraph> {
+    g: &'g G,
     /// Per-vertex algorithm state.
     pub state: Vec<S>,
     outbox: Vec<Option<M>>,
@@ -115,26 +115,23 @@ pub struct VertexEngine<'g, S, M> {
     in_count: Vec<u32>,
 }
 
-impl<'g, S, M> VertexEngine<'g, S, M>
+impl<'g, S, M, G> VertexEngine<'g, S, M, G>
 where
     S: Send + Sync,
     M: Combine,
+    G: NeighborAccess,
 {
     /// Creates an engine with state initialized per vertex (in parallel),
     /// using the ambient default partition count
     /// ([`MrConfig::default_partitions`]).
-    pub fn new(g: &'g CsrGraph, init: impl Fn(NodeId) -> S + Sync) -> Self {
+    pub fn new(g: &'g G, init: impl Fn(NodeId) -> S + Sync) -> Self {
         Self::with_partitions(g, MrConfig::default_partitions(), init)
     }
 
     /// Creates an engine with an explicit partition count (the scheduling
     /// grid for both sender chunking and destination ranges). The partition
     /// count never changes results — only the ledger's cell granularity.
-    pub fn with_partitions(
-        g: &'g CsrGraph,
-        partitions: usize,
-        init: impl Fn(NodeId) -> S + Sync,
-    ) -> Self {
+    pub fn with_partitions(g: &'g G, partitions: usize, init: impl Fn(NodeId) -> S + Sync) -> Self {
         let n = g.num_nodes();
         let state: Vec<S> = (0..n as NodeId).into_par_iter().map(&init).collect();
         VertexEngine {
@@ -182,7 +179,7 @@ where
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &G {
         self.g
     }
 
@@ -235,35 +232,49 @@ where
             self.cells.resize_with(want_cells, Vec::new);
         }
         while self.scratch.len() < num_chunks {
-            self.scratch.push(ChunkScratch::new(n));
+            self.scratch.push(ChunkScratch::new(part_size));
         }
         for cell in &mut self.cells[..want_cells] {
             cell.clear();
         }
 
-        // Phase 1 (scatter + map-side combine): each sender chunk keeps at
-        // most one combined entry per destination in its per-partition cell.
+        // Phase 1 (scatter + map-side combine): each sender chunk scatters
+        // raw per-edge pairs into its per-partition cells, then combines
+        // each cell in place — one partition at a time, so a
+        // partition-range-wide scratch suffices. The first occurrence of a
+        // destination keeps its position and later pairs fold into it in
+        // sender order, so cell contents (order and combined values) are
+        // identical to combining on the fly.
         self.cells[..want_cells]
             .par_chunks_mut(num_parts)
             .zip(self.scratch[..num_chunks].par_iter_mut())
             .zip(self.senders.par_chunks(chunk))
             .for_each(|((row, scratch), chunk_nodes)| {
-                scratch.advance();
                 for &v in chunk_nodes {
                     let m = outbox[v as usize].as_ref().expect("sender has message");
-                    for &t in g.neighbors(v) {
-                        let ti = t as usize;
-                        let cell = &mut row[ti / part_size];
+                    for t in g.neighbors_iter(v) {
+                        row[t as usize / part_size].push((t, 1, m.clone()));
+                    }
+                }
+                for (p, cell) in row.iter_mut().enumerate() {
+                    scratch.advance();
+                    let base = p * part_size;
+                    let mut keep = 0usize;
+                    for r in 0..cell.len() {
+                        let ti = cell[r].0 as usize - base;
                         if scratch.mark[ti] == scratch.epoch {
-                            let entry = &mut cell[scratch.slot[ti] as usize];
-                            entry.1 += 1;
-                            entry.2.combine(m);
+                            let s = scratch.slot[ti] as usize;
+                            let (head, tail) = cell.split_at_mut(r);
+                            head[s].1 += tail[0].1;
+                            head[s].2.combine(&tail[0].2);
                         } else {
                             scratch.mark[ti] = scratch.epoch;
-                            scratch.slot[ti] = cell.len() as u32;
-                            cell.push((t, 1, m.clone()));
+                            scratch.slot[ti] = keep as u32;
+                            cell.swap(keep, r);
+                            keep += 1;
                         }
                     }
+                    cell.truncate(keep);
                 }
             });
         let used_cells = &self.cells[..want_cells];

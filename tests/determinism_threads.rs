@@ -261,6 +261,52 @@ fn frontier_strategies_byte_identical_across_pool_sizes() {
     }
 }
 
+/// The compressed backend's determinism contract: the graph representation
+/// is a memory knob only. For every workload graph, `cluster()` and
+/// `approximate_diameter()` produce byte-identical output across the full
+/// `{plain, compressed} × {1 thread, 4 threads}` matrix — the gap-decoded
+/// neighbor stream feeds the exact same frontier waves as the plain arrays.
+#[test]
+fn backends_are_byte_identical_across_pool_sizes() {
+    for (name, g) in workload_graphs() {
+        let reprs = [
+            ("plain", GraphRepr::Plain(g.clone())),
+            ("compressed", GraphRepr::Compressed(CcsrGraph::from_csr(&g))),
+        ];
+        let mut rows: Vec<(String, String, String)> = Vec::new();
+        for (backend, repr) in &reprs {
+            let (one, four) = on_both_pools(|| {
+                let r = cluster(repr, &ClusterParams::new(8, 42));
+                let d = approximate_diameter(repr, &DiameterParams::new(8, 42));
+                (
+                    r.clustering,
+                    r.trace,
+                    d.lower_bound,
+                    d.estimate(),
+                    d.radius,
+                    d.quotient_nodes,
+                    d.quotient_kernel,
+                )
+            });
+            assert_eq!(
+                one, four,
+                "{backend} backend diverged across pool sizes on {name}"
+            );
+            rows.push((backend.to_string(), one, four));
+        }
+        for (backend, one, four) in &rows[1..] {
+            assert_eq!(
+                &rows[0].1, one,
+                "{backend} (1 thread) diverged from plain on {name}"
+            );
+            assert_eq!(
+                &rows[0].2, four,
+                "{backend} (4 threads) diverged from plain on {name}"
+            );
+        }
+    }
+}
+
 /// The MR emulation after the radix-shuffle + combiner refactor: for a
 /// fixed seed, `mr_cluster` and `mr_hadi` (the Table 4 competitors that run
 /// on [`pardec::mr::VertexEngine`]) produce byte-identical results on a
