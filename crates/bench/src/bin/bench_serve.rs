@@ -15,7 +15,16 @@
 //!   afterwards. This is the CI smoke leg.
 //!
 //! Options: `--smoke` (tiny workload, seconds not minutes), `--batches N`,
-//! `--batch N` (queries per request frame), `--seed S`.
+//! `--batch N` (queries per request frame), `--seed S`, `--reload PATH`
+//! (external mode only: send `OP_RELOAD` for PATH before the INFO probe —
+//! the daemon must run with `--allow-reload`).
+//!
+//! The client is overload-aware: `ERR_OVERLOADED` responses honor the
+//! server's `retry_after_ms` hint and transient socket failures reconnect
+//! under bounded exponential backoff with seeded jitter. Every retry and
+//! shed response is counted and reported in the JSONL summary
+//! (`"retries"`, `"shed_requests"`), so a lossy run is visible, never
+//! silent.
 
 use pardec_bench::timed;
 use pardec_core::{wire, Session, SessionParams};
@@ -34,6 +43,7 @@ struct Config {
     batches: usize,
     batch: usize,
     seed: u64,
+    reload: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -44,11 +54,13 @@ fn parse_args() -> Config {
         batches: 0,
         batch: 256,
         seed: 42,
+        reload: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => cfg.addr = Some(it.next().expect("--addr expects HOST:PORT")),
+            "--reload" => cfg.reload = Some(it.next().expect("--reload expects a snapshot path")),
             "--shutdown" => cfg.shutdown = true,
             "--smoke" => cfg.smoke = true,
             "--batches" => {
@@ -128,19 +140,99 @@ struct RunResult {
     lat: Vec<(&'static str, u64)>,
     bodies: Vec<Vec<u8>>,
     secs: f64,
+    /// Frames re-sent after a shed response or a transient socket failure.
+    retries: u64,
+    /// `ERR_OVERLOADED` responses received (each one also retried).
+    shed_requests: u64,
 }
 
-fn run_schedule(addr: &str, shots: &[Shot]) -> io::Result<RunResult> {
-    let mut stream = TcpStream::connect(addr)?;
+/// Retry budget per frame; beyond this the run fails loudly.
+const MAX_RETRIES: u32 = 5;
+
+/// Transient failures worth a reconnect: the hardened server closes the
+/// socket on timeouts and panics, and a restarting daemon refuses briefly.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Exponential backoff (10ms · 2^attempt) with seeded jitter, so a shed
+/// herd decorrelates while staying reproducible under one seed.
+fn backoff_ms(attempt: u32, rng: &mut StdRng) -> u64 {
+    let base = 10u64 << attempt.min(6);
+    base + rng.gen_range(0..base / 2 + 1)
+}
+
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+fn roundtrip_frame(stream: &mut TcpStream, frame: &[u8]) -> io::Result<Vec<u8>> {
+    wire::write_frame(stream, frame)?;
+    wire::read_frame(stream)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+}
+
+fn run_schedule(addr: &str, shots: &[Shot], seed: u64) -> io::Result<RunResult> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut stream = connect(addr)?;
     let mut lat = Vec::with_capacity(shots.len());
     let mut bodies = Vec::with_capacity(shots.len());
+    let mut retries = 0u64;
+    let mut shed_requests = 0u64;
     let start = Instant::now();
     for shot in shots {
         let t = Instant::now();
-        wire::write_frame(&mut stream, &shot.frame)?;
-        let body = wire::read_frame(&mut stream)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        let mut attempt = 0u32;
+        let body = loop {
+            match roundtrip_frame(&mut stream, &shot.frame) {
+                Ok(body) => {
+                    let status = wire::decode_response(&body)?.status;
+                    if status != wire::ERR_OVERLOADED {
+                        break body;
+                    }
+                    // Shed: honor the server's retry hint (plus jitter so
+                    // concurrent clients don't re-collide), then re-send.
+                    shed_requests += 1;
+                    if attempt >= MAX_RETRIES {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{}: still overloaded after {MAX_RETRIES} retries", shot.op),
+                        ));
+                    }
+                    let resp = wire::decode_response(&body)?;
+                    let hint = resp
+                        .body
+                        .get(..4)
+                        .map(|b| u32::from_le_bytes(b.try_into().unwrap()) as u64)
+                        .unwrap_or(0);
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        hint.max(backoff_ms(attempt, &mut rng)),
+                    ));
+                }
+                Err(e) if is_transient(&e) && attempt < MAX_RETRIES => {
+                    // The server closes timed-out / panicked connections;
+                    // back off, reconnect, and re-send this frame.
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms(
+                        attempt, &mut rng,
+                    )));
+                    stream = connect(addr)?;
+                }
+                Err(e) => return Err(e),
+            }
+            attempt += 1;
+            retries += 1;
+        };
         lat.push((shot.op, t.elapsed().as_micros() as u64));
         let resp = wire::decode_response(&body)?;
         if resp.status != 0 {
@@ -166,6 +258,8 @@ fn run_schedule(addr: &str, shots: &[Shot]) -> io::Result<RunResult> {
         lat,
         bodies,
         secs: start.elapsed().as_secs_f64(),
+        retries,
+        shed_requests,
     })
 }
 
@@ -184,8 +278,10 @@ fn report(threads: &str, batch: usize, result: &RunResult) {
     println!(
         "{{\"bench\":\"serve\",\"threads\":\"{threads}\",\"batch\":{batch},\
          \"requests\":{total},\"secs\":{:.4},\"qps\":{qps:.1},\
-         \"peak_alloc_bytes\":{}}}",
+         \"retries\":{},\"shed_requests\":{},\"peak_alloc_bytes\":{}}}",
         result.secs,
+        result.retries,
+        result.shed_requests,
         pardec_bench::alloc::peak_bytes(),
     );
     for op in ["dist", "cluster_of", "ecc", "nearest"] {
@@ -236,8 +332,10 @@ fn query_stats(addr: &str) -> io::Result<wire::StatsSnapshot> {
 
 /// Emits the server-side ledger as one JSONL record and cross-checks it
 /// against the client-side request count. `exact` demands equality (a
-/// dedicated in-process daemon); external daemons may have served other
-/// clients first, so there the server count only has to cover ours.
+/// dedicated in-process daemon — the count includes re-sent frames, and
+/// every server-side error must be an accounted shed); external daemons may
+/// have served other clients first, so there the server count only has to
+/// cover ours.
 fn report_stats(threads: &str, stats: &wire::StatsSnapshot, client_requests: u64, exact: bool) {
     if exact {
         assert_eq!(
@@ -245,7 +343,10 @@ fn report_stats(threads: &str, stats: &wire::StatsSnapshot, client_requests: u64
             "server saw {} requests, client sent {client_requests}",
             stats.total_requests
         );
-        assert_eq!(stats.errors, 0, "server recorded errors: {stats:?}");
+        assert_eq!(
+            stats.errors, stats.shed,
+            "server recorded non-shed errors: {stats:?}"
+        );
     } else {
         assert!(
             stats.total_requests >= client_requests,
@@ -269,12 +370,20 @@ fn report_stats(threads: &str, stats: &wire::StatsSnapshot, client_requests: u64
     println!(
         "{{\"bench\":\"serve\",\"threads\":\"{threads}\",\"op\":\"stats\",\
          \"requests\":{},\"errors\":{},\"bytes_in\":{},\"bytes_out\":{},\
-         \"uptime_us\":{},\"per_op\":[{}]}}",
+         \"uptime_us\":{},\"epoch\":{},\"timeouts\":{},\"shed\":{},\
+         \"panics_caught\":{},\"reloads_ok\":{},\"reloads_rolled_back\":{},\
+         \"per_op\":[{}]}}",
         stats.total_requests,
         stats.errors,
         stats.bytes_in,
         stats.bytes_out,
         stats.uptime_us,
+        stats.epoch,
+        stats.timeouts,
+        stats.shed,
+        stats.panics_caught,
+        stats.reloads_ok,
+        stats.reloads_rolled_back,
         per_op.join(","),
     );
 }
@@ -285,6 +394,22 @@ fn main() {
     if let Some(addr) = cfg.addr.clone() {
         // External mode: the daemon already exists; probe it, run, report.
         let mut stream = TcpStream::connect(&addr).expect("cannot connect");
+        let mut extra_requests = 0u64;
+        if let Some(path) = &cfg.reload {
+            // Hot-reload BEFORE the INFO probe so the whole schedule runs
+            // against the fresh epoch (daemon needs --allow-reload).
+            let resp = wire::roundtrip(&mut stream, &wire::Request::Reload { path: path.clone() })
+                .expect("RELOAD roundtrip failed");
+            assert_eq!(
+                resp.status,
+                0,
+                "RELOAD {path} refused: {}",
+                resp.error_message().unwrap_or_default()
+            );
+            let epoch = u64::from_le_bytes(resp.body[..8].try_into().unwrap());
+            eprintln!("[bench_serve] reloaded {path}: epoch {epoch}");
+            extra_requests += 1;
+        }
         let info = wire::roundtrip(&mut stream, &wire::Request::Info).expect("INFO failed");
         let mut body: &[u8] = &info.body;
         let n = {
@@ -294,11 +419,16 @@ fn main() {
         drop(stream);
         eprintln!("[bench_serve] external daemon at {addr}: {n} nodes");
         let shots = schedule(n, &cfg);
-        let result = run_schedule(&addr, &shots).expect("run failed");
+        let result = run_schedule(&addr, &shots, cfg.seed).expect("run failed");
         report("external", cfg.batch, &result);
         // The INFO probe plus every schedule frame must show up server-side.
         let stats = query_stats(&addr).expect("STATS failed");
-        report_stats("external", &stats, 1 + shots.len() as u64, false);
+        report_stats(
+            "external",
+            &stats,
+            1 + extra_requests + shots.len() as u64 + result.retries,
+            false,
+        );
         if cfg.shutdown {
             send_shutdown(&addr).expect("shutdown failed");
             eprintln!("[bench_serve] daemon shut down");
@@ -341,13 +471,20 @@ fn main() {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
         let handle = wire::serve(listener, session.clone(), pool, 2).expect("serve");
         let addr = handle.addr().to_string();
-        let result = run_schedule(&addr, &shots).expect("run failed");
+        let result = run_schedule(&addr, &shots, cfg.seed).expect("run failed");
         report(&threads.to_string(), cfg.batch, &result);
-        // Server-side ledger must agree exactly with the schedule we sent.
-        // STATS responses carry timings, so they are queried after the
-        // compared schedule and never enter the byte-identity bodies below.
+        // Server-side ledger must agree exactly with the schedule we sent
+        // (plus any retried frames — the default config never sheds, so in
+        // practice retries stay 0 here). STATS responses carry timings, so
+        // they are queried after the compared schedule and never enter the
+        // byte-identity bodies below.
         let stats = query_stats(&addr).expect("STATS failed");
-        report_stats(&threads.to_string(), &stats, shots.len() as u64, true);
+        report_stats(
+            &threads.to_string(),
+            &stats,
+            shots.len() as u64 + result.retries,
+            true,
+        );
         send_shutdown(&addr).expect("shutdown failed");
         handle.join();
         runs.push((threads, result));

@@ -87,6 +87,13 @@ const VALUED_KEYS: &[&str] = &[
     "trace",
     "delta",
     "backend",
+    "reload-signal",
+    "deadline-ms",
+    "idle-timeout-ms",
+    "read-timeout-ms",
+    "max-batch",
+    "max-concurrent",
+    "max-inflight-mb",
 ];
 
 impl Args {

@@ -66,6 +66,11 @@ command tree:
   snapshot info   --snapshot FILE            (prints the section table)
   serve           --snapshot FILE [--addr HOST:PORT] [--accept-threads N]
                   [--checked]                (resident query daemon)
+                  hardening: [--read-timeout-ms N] [--idle-timeout-ms N]
+                  [--deadline-ms N] [--max-batch N] [--max-concurrent N]
+                  [--max-inflight-mb N] [--allow-reload]
+                  [--reload-signal FILE]  (touch FILE to hot-reload the
+                  snapshot; corrupt replacements roll back)
   help
 
 deprecated aliases (still work, print a pointer to the new spelling):

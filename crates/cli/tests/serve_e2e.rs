@@ -128,3 +128,135 @@ fn serve_answers_over_tcp_and_shuts_down() {
     let _ = std::fs::remove_file(graph_path);
     let _ = std::fs::remove_file(snap_path);
 }
+
+/// The hardening surface end to end: a daemon started with reload enabled
+/// (wire + signal file) and tightened fault knobs answers `OP_RELOAD`,
+/// hot-reloads when the signal file appears, reports its epoch and fault
+/// ledger over `OP_STATS`, and still shuts down cleanly.
+#[test]
+fn serve_reloads_via_wire_and_signal_file() {
+    let graph_path = tmp("reload-mesh.txt");
+    let snap_path = tmp("reload-mesh.pdec");
+    let signal_path = tmp("reload.signal");
+
+    let status = pardec()
+        .args([
+            "generate",
+            "--family",
+            "mesh",
+            "--rows",
+            "12",
+            "--cols",
+            "12",
+            "--out",
+            &graph_path,
+        ])
+        .status()
+        .expect("spawn generate");
+    assert!(status.success(), "generate failed");
+    let status = pardec()
+        .args([
+            "snapshot",
+            "save",
+            "--graph",
+            &graph_path,
+            "--tau",
+            "3",
+            "--out",
+            &snap_path,
+        ])
+        .status()
+        .expect("spawn snapshot save");
+    assert!(status.success(), "snapshot save failed");
+
+    let mut child = pardec()
+        .args([
+            "serve",
+            "--snapshot",
+            &snap_path,
+            "--addr",
+            "127.0.0.1:0",
+            "--accept-threads",
+            "2",
+            "--allow-reload",
+            "--reload-signal",
+            &signal_path,
+            "--read-timeout-ms",
+            "5000",
+            "--deadline-ms",
+            "10000",
+            "--max-batch",
+            "4096",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    let mut lines = BufReader::new(child.stdout.take().expect("stdout piped")).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("read serve stdout");
+        if let Some(rest) = line.strip_prefix("pardec serve: listening on ") {
+            break rest.trim().to_string();
+        }
+    };
+    let mut stream = TcpStream::connect(&addr).expect("connect to daemon");
+
+    // Wire reload, empty path → the serving snapshot's own file: epoch 2.
+    let resp = wire::roundtrip(
+        &mut stream,
+        &Request::Reload {
+            path: String::new(),
+        },
+    )
+    .expect("RELOAD");
+    assert_eq!(resp.status, 0, "wire reload refused");
+    assert_eq!(&resp.body[..], &2u64.to_le_bytes());
+
+    // A garbage replacement rolls back and the old epoch keeps serving.
+    std::fs::write(&graph_path, b"not a snapshot").unwrap();
+    let resp = wire::roundtrip(
+        &mut stream,
+        &Request::Reload {
+            path: graph_path.clone(),
+        },
+    )
+    .expect("RELOAD corrupt");
+    assert_eq!(resp.status, wire::ERR_RELOAD_FAILED);
+
+    // Signal-file reload: drop the file, poll STATS until the watcher
+    // (250ms cadence) picks it up and bumps the epoch.
+    std::fs::write(&signal_path, b"").unwrap();
+    let mut epoch = 0;
+    for _ in 0..40 {
+        let resp = wire::roundtrip(&mut stream, &Request::Stats).expect("STATS");
+        let snap = wire::decode_stats_body(&resp.body).expect("stats body");
+        epoch = snap.epoch;
+        if epoch >= 3 {
+            assert_eq!(snap.reloads_ok, 2);
+            assert_eq!(snap.reloads_rolled_back, 1);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    assert_eq!(epoch, 3, "signal-file reload never landed");
+    assert!(
+        !std::path::Path::new(&signal_path).exists(),
+        "watcher must consume the signal file"
+    );
+
+    // The reloaded session still answers queries.
+    let resp = wire::roundtrip(&mut stream, &Request::ClusterOf(vec![0, 143])).expect("CLUSTER_OF");
+    assert_eq!(resp.status, 0);
+
+    let resp = wire::roundtrip(&mut stream, &Request::Shutdown).expect("SHUTDOWN");
+    assert_eq!(resp.status, 0);
+    let status = child.wait().expect("wait for serve");
+    assert!(status.success(), "serve exited with failure after shutdown");
+
+    let _ = std::fs::remove_file(graph_path);
+    let _ = std::fs::remove_file(snap_path);
+    let _ = std::fs::remove_file(signal_path);
+}

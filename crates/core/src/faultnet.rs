@@ -1,0 +1,409 @@
+//! Deterministic network fault injection for the serve stack.
+//!
+//! [`FaultyStream`] wraps any transport (a real [`TcpStream`], or an
+//! in-memory mock in unit tests) and perturbs its reads and writes
+//! according to a declarative [`FaultPlan`]: torn frames, partial writes,
+//! delayed reads, mid-frame disconnects, and byte corruption. All
+//! randomness comes from a xoshiro [`StdRng`] seeded by the plan, so a
+//! chaos run replays byte-for-byte — the property `tests/chaos_serve.rs`
+//! leans on when it asserts that surviving connections answer exactly the
+//! fault-free bytes.
+//!
+//! The wrapper is a *client-side* instrument: the daemon under test stays
+//! untouched, seeing only the hostile traffic a broken or malicious peer
+//! would produce. Faults compose; [`FaultPlan::standard_suite`] is the
+//! canonical set the chaos tests iterate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One fault kind, applied on every matching operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Silently discard everything written beyond `after_bytes` while
+    /// reporting success — the peer believes its frame left, the wire
+    /// carries a torn prefix, and the server must time the stall out.
+    TornFrame {
+        /// Bytes actually delivered before the tear.
+        after_bytes: usize,
+    },
+    /// Deliver writes in chunks of at most `max_chunk` bytes, sleeping
+    /// `delay` between chunks — a peer on a congested path. Exercises the
+    /// server's partial-read loop; all bytes do arrive.
+    ChunkedWrites {
+        /// Largest burst handed to the transport per call.
+        max_chunk: usize,
+        /// Pause before each chunk.
+        delay: Duration,
+    },
+    /// Sleep `delay` before every read — a peer slow to drain responses.
+    DelayedReads {
+        /// Pause before each read.
+        delay: Duration,
+    },
+    /// Hard-close the transport once `after_bytes` have been written,
+    /// mid-frame or not — the server sees EOF wherever it lands.
+    Disconnect {
+        /// Bytes delivered before the connection is severed.
+        after_bytes: usize,
+    },
+    /// With `probability` per write call, XOR one randomly chosen byte
+    /// with a random non-zero mask before it leaves.
+    CorruptBytes {
+        /// Chance a given write is corrupted, in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+/// A named, seeded list of faults — the unit the chaos suite iterates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Label carried into test output.
+    pub name: &'static str,
+    /// Seed of the plan's private xoshiro stream.
+    pub seed: u64,
+    /// Faults applied, in order, to every operation.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn new(name: &'static str, seed: u64) -> FaultPlan {
+        FaultPlan {
+            name,
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one fault (builder style).
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The canonical chaos set: one plan per failure family named in the
+    /// robustness issue. The byte offsets land mid-frame for every request
+    /// the suite sends (frames are ≥ 5 wire bytes).
+    pub fn standard_suite(seed: u64) -> Vec<FaultPlan> {
+        vec![
+            FaultPlan::new("torn-frame", seed).with(Fault::TornFrame { after_bytes: 7 }),
+            FaultPlan::new("partial-writes", seed).with(Fault::ChunkedWrites {
+                max_chunk: 3,
+                delay: Duration::from_millis(1),
+            }),
+            FaultPlan::new("delayed-reads", seed).with(Fault::DelayedReads {
+                delay: Duration::from_millis(2),
+            }),
+            FaultPlan::new("mid-frame-disconnect", seed).with(Fault::Disconnect { after_bytes: 9 }),
+            FaultPlan::new("corrupt-bytes", seed).with(Fault::CorruptBytes { probability: 0.5 }),
+        ]
+    }
+}
+
+/// Transports the wrapper can hard-close (the `Disconnect` fault).
+pub trait Severable {
+    /// Tear the transport down in both directions; best effort.
+    fn sever(&mut self);
+}
+
+impl Severable for TcpStream {
+    fn sever(&mut self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A transport wrapped in a [`FaultPlan`]. Reads and writes pass through
+/// `inner` with the plan's faults applied deterministically.
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    rng: StdRng,
+    written: usize,
+    severed: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` under `plan`; the fault stream is seeded here.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultyStream<S> {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultyStream {
+            inner,
+            plan,
+            rng,
+            written: 0,
+            severed: false,
+        }
+    }
+
+    /// Total bytes actually delivered to the transport so far.
+    pub fn bytes_delivered(&self) -> usize {
+        self.written
+    }
+
+    /// Whether a `Disconnect` fault has fired.
+    pub fn is_severed(&self) -> bool {
+        self.severed
+    }
+
+    /// The wrapped transport, back out.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Severable> FaultyStream<S> {
+    fn sever_now(&mut self) {
+        if !self.severed {
+            self.inner.sever();
+            self.severed = true;
+        }
+    }
+}
+
+impl<S: Read + Write + Severable> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.severed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "fault plan severed this connection",
+            ));
+        }
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // Pass 1: how much of `buf` the plan lets through this call, and
+        // what happens to the rest.
+        let mut allow = buf.len();
+        let mut tear = false; // swallow the remainder, stay open
+        let mut sever = false; // hard-close once the allowance is out
+        let mut delay = Duration::ZERO;
+        for fault in &self.plan.faults {
+            match *fault {
+                Fault::TornFrame { after_bytes } => {
+                    if self.written + allow > after_bytes {
+                        allow = after_bytes.saturating_sub(self.written);
+                        tear = true;
+                    }
+                }
+                Fault::Disconnect { after_bytes } => {
+                    if self.written + allow >= after_bytes {
+                        allow = after_bytes.saturating_sub(self.written);
+                        sever = true;
+                    }
+                }
+                Fault::ChunkedWrites {
+                    max_chunk,
+                    delay: d,
+                } => {
+                    allow = allow.min(max_chunk.max(1));
+                    delay = delay.max(d);
+                }
+                Fault::DelayedReads { .. } | Fault::CorruptBytes { .. } => {}
+            }
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        // Pass 2: deliver the allowance (possibly corrupted), then apply
+        // the tear/sever verdict.
+        let mut delivered = 0;
+        if allow > 0 {
+            let mut chunk = buf[..allow].to_vec();
+            for fault in &self.plan.faults {
+                if let Fault::CorruptBytes { probability } = *fault {
+                    if self.rng.gen_bool(probability) {
+                        let at = self.rng.gen_range(0..chunk.len());
+                        let mask = (self.rng.gen_range(1u32..256)) as u8;
+                        chunk[at] ^= mask;
+                    }
+                }
+            }
+            self.inner.write_all(&chunk)?;
+            self.written += allow;
+            delivered = allow;
+        }
+        if sever {
+            self.sever_now();
+            return if delivered > 0 {
+                Ok(delivered)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "fault plan severed this connection",
+                ))
+            };
+        }
+        if tear {
+            // Swallow the rest of the buffer: the caller believes the
+            // frame went out; the wire holds a torn prefix.
+            return Ok(buf.len());
+        }
+        Ok(delivered)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: Read + Write + Severable> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        for fault in &self.plan.faults {
+            if let Fault::DelayedReads { delay } = *fault {
+                std::thread::sleep(delay);
+            }
+        }
+        if self.severed {
+            return Ok(0);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Drives the rng identically to a real corruption pass — exposed so tests
+/// can predict the byte stream of a given seed.
+pub fn corruption_preview(seed: u64, writes: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..writes).map(|_| rng.next_u64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory transport: captures writes, serves canned reads.
+    #[derive(Default)]
+    struct MockStream {
+        wrote: Vec<u8>,
+        canned: Vec<u8>,
+        read_at: usize,
+        severed: bool,
+    }
+
+    impl Read for MockStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let left = &self.canned[self.read_at..];
+            let n = left.len().min(buf.len());
+            buf[..n].copy_from_slice(&left[..n]);
+            self.read_at += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for MockStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.wrote.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Severable for MockStream {
+        fn sever(&mut self) {
+            self.severed = true;
+        }
+    }
+
+    #[test]
+    fn torn_frame_delivers_a_prefix_and_pretends_success() {
+        let plan = FaultPlan::new("tear", 1).with(Fault::TornFrame { after_bytes: 7 });
+        let mut s = FaultyStream::new(MockStream::default(), plan);
+        s.write_all(&[9u8; 20]).unwrap(); // "succeeds"
+        s.write_all(&[8u8; 5]).unwrap(); // swallowed entirely
+        assert_eq!(s.bytes_delivered(), 7);
+        assert!(!s.is_severed());
+        assert_eq!(s.into_inner().wrote, vec![9u8; 7]);
+    }
+
+    #[test]
+    fn chunked_writes_deliver_everything_in_small_bursts() {
+        let plan = FaultPlan::new("chunks", 1).with(Fault::ChunkedWrites {
+            max_chunk: 3,
+            delay: Duration::ZERO,
+        });
+        let mut s = FaultyStream::new(MockStream::default(), plan);
+        let payload: Vec<u8> = (0..20).collect();
+        // A single `write` hands over at most one chunk…
+        assert_eq!(s.write(&payload).unwrap(), 3);
+        // …and `write_all` loops until every byte has crossed.
+        s.write_all(&payload[3..]).unwrap();
+        assert_eq!(s.into_inner().wrote, payload);
+    }
+
+    #[test]
+    fn disconnect_severs_mid_buffer() {
+        let plan = FaultPlan::new("cut", 1).with(Fault::Disconnect { after_bytes: 9 });
+        let mut s = FaultyStream::new(MockStream::default(), plan);
+        let err = s.write_all(&[1u8; 16]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(s.is_severed());
+        assert_eq!(s.bytes_delivered(), 9);
+        // Reads answer EOF after the cut.
+        let mut buf = [0u8; 4];
+        assert_eq!(s.read(&mut buf).unwrap(), 0);
+        assert!(s.into_inner().severed);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new("flip", seed).with(Fault::CorruptBytes { probability: 0.5 });
+            let mut s = FaultyStream::new(MockStream::default(), plan);
+            for _ in 0..8 {
+                s.write_all(&[0x55u8; 6]).unwrap();
+            }
+            s.into_inner().wrote
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        // With p = 0.5 over 8 writes, at least one byte must have flipped.
+        assert_ne!(run(42), vec![0x55u8; 48]);
+    }
+
+    #[test]
+    fn delayed_reads_still_deliver_the_canned_bytes() {
+        let plan = FaultPlan::new("slow", 1).with(Fault::DelayedReads {
+            delay: Duration::from_millis(1),
+        });
+        let inner = MockStream {
+            canned: vec![1, 2, 3, 4],
+            ..MockStream::default()
+        };
+        let mut s = FaultyStream::new(inner, plan);
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn standard_suite_covers_every_fault_family() {
+        let suite = FaultPlan::standard_suite(7);
+        let names: Vec<_> = suite.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "torn-frame",
+                "partial-writes",
+                "delayed-reads",
+                "mid-frame-disconnect",
+                "corrupt-bytes",
+            ]
+        );
+        for plan in &suite {
+            assert_eq!(plan.seed, 7);
+            assert_eq!(plan.faults.len(), 1);
+        }
+    }
+
+    #[test]
+    fn preview_matches_the_seeded_stream() {
+        assert_eq!(corruption_preview(5, 4), corruption_preview(5, 4));
+        assert_ne!(corruption_preview(5, 4), corruption_preview(6, 4));
+    }
+}

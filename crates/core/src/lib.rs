@@ -33,6 +33,7 @@ pub mod cluster;
 pub mod cluster2;
 pub mod clustering;
 pub mod diameter;
+pub mod faultnet;
 pub mod growth;
 pub mod hadi;
 pub mod kcenter;

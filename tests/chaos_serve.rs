@@ -1,0 +1,315 @@
+//! Chaos suite for the hardened `pardec serve` loop.
+//!
+//! Every scenario spins up a real TCP daemon, lets a **victim** connection
+//! misbehave through a seeded [`FaultyStream`] (torn frames, partial
+//! writes, delayed reads, mid-frame disconnects, byte corruption), and then
+//! asserts the two properties the robustness issue pins down:
+//!
+//! 1. the daemon survives — zero panics, still answering; and
+//! 2. a **survivor** connection that was open the whole time receives
+//!    responses byte-identical to a fault-free run.
+//!
+//! Each scenario runs on a 1-worker and a 4-worker pool, so the chaos
+//! harness re-asserts the workspace's determinism contract under fire.
+
+use pardec::core::faultnet::{Fault, FaultPlan, FaultyStream};
+use pardec::core::wire::{self, Request, ServeConfig};
+use pardec::prelude::*;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_session() -> Arc<Session> {
+    // 12×12 mesh, τ = 4: big enough that batched queries do real frontier
+    // work, small enough that a scenario runs in milliseconds.
+    Arc::new(Session::build(
+        generators::mesh(12, 12),
+        &SessionParams::new(4, 42),
+    ))
+}
+
+/// Short timeouts so stalled victims cost milliseconds, not the defaults'
+/// tens of seconds; the debug panic opcode is armed for the isolation test.
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        read_timeout: Duration::from_millis(200),
+        write_timeout: Duration::from_millis(500),
+        idle_timeout: Duration::from_secs(10),
+        deadline: Duration::from_secs(5),
+        debug_panic_op: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn pool(workers: usize) -> Arc<rayon::ThreadPool> {
+    Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn spawn_daemon(session: Arc<Session>, workers: usize, config: ServeConfig) -> wire::ServerHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    wire::serve_with(listener, session, pool(workers), 3, config).unwrap()
+}
+
+/// The canonical request script; every response is deterministic given the
+/// session, so its concatenated response bytes are the identity baseline.
+fn script() -> Vec<Request> {
+    vec![
+        Request::Info,
+        Request::ClusterOf(vec![0, 5, 17, 143]),
+        Request::Distance(vec![(0, 143), (7, 7), (12, 100)]),
+        Request::Eccentricity(vec![3, 99]),
+        Request::Nearest {
+            sources: vec![0, 143],
+            probes: vec![1, 2, 77],
+        },
+    ]
+}
+
+/// Runs the script over any transport, collecting raw response frames.
+fn run_script<S: Read + Write>(stream: &mut S) -> io::Result<Vec<Vec<u8>>> {
+    let mut out = Vec::new();
+    for req in script() {
+        wire::write_frame(stream, &wire::encode_request(&req))?;
+        match wire::read_frame(stream)? {
+            Some(body) => out.push(body),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-script",
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn connect(handle: &wire::ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    // Bound every client wait so a scenario can never hang the suite.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+/// Fault-free response bytes for this session (per pool size, though the
+/// determinism contract makes them identical across pool sizes too).
+fn baseline(session: &Arc<Session>, workers: usize) -> Vec<Vec<u8>> {
+    let handle = spawn_daemon(session.clone(), workers, chaos_config());
+    let mut clean = connect(&handle);
+    let responses = run_script(&mut clean).unwrap();
+    drop(clean);
+    handle.shutdown();
+    handle.join();
+    responses
+}
+
+#[test]
+fn daemon_survives_every_fault_plan_with_identical_survivor_responses() {
+    let session = chaos_session();
+    for workers in [1, 4] {
+        let expect = baseline(&session, workers);
+        for plan in FaultPlan::standard_suite(0xC0FFEE + workers as u64) {
+            let name = plan.name;
+            let handle = spawn_daemon(session.clone(), workers, chaos_config());
+
+            // The survivor connects (and is served) before any fault fires…
+            let mut survivor = connect(&handle);
+            let first = run_script(&mut survivor).unwrap();
+            assert_eq!(first, expect, "pre-chaos script, plan {name}, {workers}w");
+
+            // …then the victim runs the same script through the fault plan.
+            // Whatever happens to it — timeouts, severed sockets, error
+            // statuses — must stay its own problem.
+            let mut victim = FaultyStream::new(connect(&handle), plan);
+            let _ = run_script(&mut victim);
+            drop(victim);
+
+            // The survivor's connection was never dropped, and its bytes
+            // are exactly the fault-free bytes.
+            let after = run_script(&mut survivor).unwrap();
+            assert_eq!(after, expect, "post-chaos script, plan {name}, {workers}w");
+
+            let stats = handle.stats();
+            assert_eq!(stats.panics_caught, 0, "plan {name}: daemon panicked");
+            assert_eq!(handle.epoch(), 1, "plan {name}: epoch moved");
+            handle.shutdown();
+            handle.join();
+        }
+    }
+}
+
+#[test]
+fn panic_is_isolated_while_survivors_keep_identical_bytes() {
+    let session = chaos_session();
+    for workers in [1, 4] {
+        let expect = baseline(&session, workers);
+        let handle = spawn_daemon(session.clone(), workers, chaos_config());
+        let mut survivor = connect(&handle);
+        assert_eq!(run_script(&mut survivor).unwrap(), expect);
+
+        // Victim trips the debug panic opcode: ERR_INTERNAL, then its
+        // connection — and only its connection — closes.
+        let mut victim = connect(&handle);
+        wire::write_frame(&mut victim, &[wire::OP_DEBUG_PANIC]).unwrap();
+        let body = wire::read_frame(&mut victim).unwrap().unwrap();
+        assert_eq!(
+            wire::decode_response(&body).unwrap().status,
+            wire::ERR_INTERNAL
+        );
+        assert!(matches!(wire::read_frame(&mut victim), Ok(None) | Err(_)));
+        drop(victim);
+
+        assert_eq!(run_script(&mut survivor).unwrap(), expect);
+        assert_eq!(handle.stats().panics_caught, 1);
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+#[test]
+fn undersized_inflight_budget_sheds_big_requests_but_serves_small_ones() {
+    let session = chaos_session();
+    for workers in [1, 4] {
+        // 8 inflight bytes: INFO (1-byte body) is admitted, every batched
+        // request (≥ 5-byte body) is shed — deterministically, no racing.
+        let handle = spawn_daemon(
+            session.clone(),
+            workers,
+            ServeConfig {
+                max_inflight_bytes: 8,
+                retry_after_ms: 77,
+                ..chaos_config()
+            },
+        );
+        let mut stream = connect(&handle);
+        for _ in 0..2 {
+            wire::write_frame(&mut stream, &wire::encode_request(&Request::Info)).unwrap();
+            let body = wire::read_frame(&mut stream).unwrap().unwrap();
+            assert_eq!(wire::decode_response(&body).unwrap().status, 0);
+
+            let big = Request::ClusterOf(vec![0, 5, 17, 143]);
+            wire::write_frame(&mut stream, &wire::encode_request(&big)).unwrap();
+            let body = wire::read_frame(&mut stream).unwrap().unwrap();
+            let resp = wire::decode_response(&body).unwrap();
+            assert_eq!(resp.status, wire::ERR_OVERLOADED);
+            assert_eq!(&resp.body[..4], &77u32.to_le_bytes());
+        }
+        assert_eq!(handle.stats().shed, 2);
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+#[test]
+fn reload_during_load_swaps_and_rolls_back_without_dropping_connections() {
+    let session = chaos_session();
+    let dir = std::env::temp_dir().join(format!("pardec_chaos_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.pdec");
+    let bad = dir.join("bad.pdec");
+    let mut bytes = Vec::new();
+    session.save(&mut bytes).unwrap();
+    std::fs::write(&good, &bytes).unwrap();
+    std::fs::write(&bad, &bytes[..bytes.len() / 3]).unwrap();
+
+    for workers in [1, 4] {
+        let expect = baseline(&session, workers);
+        let handle = spawn_daemon(
+            session.clone(),
+            workers,
+            ServeConfig {
+                allow_reload: true,
+                reload_default_path: Some(good.display().to_string()),
+                ..chaos_config()
+            },
+        );
+
+        // Client threads hammer the script while reloads happen. The good
+        // file holds the same session bytes, so responses stay identical
+        // across the epoch swap — in-flight requests finish on whichever
+        // epoch they started with, and nobody's connection drops.
+        let addr = handle.addr();
+        let loaders: Vec<_> = (0..2)
+            .map(|_| {
+                let expect = expect.clone();
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .unwrap();
+                    for _ in 0..8 {
+                        let got = run_script(&mut stream).unwrap();
+                        assert_eq!(got, expect, "responses changed during reload");
+                    }
+                })
+            })
+            .collect();
+
+        let mut admin = connect(&handle);
+        for round in 0..3u64 {
+            // Corrupt replacement: refused, rolled back, daemon alive.
+            wire::write_frame(
+                &mut admin,
+                &wire::encode_request(&Request::Reload {
+                    path: bad.display().to_string(),
+                }),
+            )
+            .unwrap();
+            let body = wire::read_frame(&mut admin).unwrap().unwrap();
+            assert_eq!(
+                wire::decode_response(&body).unwrap().status,
+                wire::ERR_RELOAD_FAILED
+            );
+            // Valid replacement (empty path → configured default): epoch++.
+            wire::write_frame(
+                &mut admin,
+                &wire::encode_request(&Request::Reload {
+                    path: String::new(),
+                }),
+            )
+            .unwrap();
+            let body = wire::read_frame(&mut admin).unwrap().unwrap();
+            let resp = wire::decode_response(&body).unwrap();
+            assert_eq!(resp.status, 0);
+            assert_eq!(&resp.body[..], &(round + 2).to_le_bytes());
+        }
+
+        for t in loaders {
+            t.join().unwrap();
+        }
+        let stats = handle.stats();
+        assert_eq!(handle.epoch(), 4);
+        assert_eq!((stats.reloads_ok, stats.reloads_rolled_back), (3, 3));
+        assert_eq!(stats.panics_caught, 0);
+        handle.shutdown();
+        handle.join();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corruption_storm_never_kills_the_listener() {
+    // Heavier variant of the corrupt-bytes plan: many short-lived victims
+    // with different seeds, all spraying garbage; the daemon must accept a
+    // clean connection afterwards and report zero panics.
+    let session = chaos_session();
+    let handle = spawn_daemon(session.clone(), 2, chaos_config());
+    for seed in 0..12u64 {
+        let plan = FaultPlan::new("storm", seed).with(Fault::CorruptBytes { probability: 0.9 });
+        let mut victim = FaultyStream::new(connect(&handle), plan);
+        let _ = run_script(&mut victim);
+    }
+    let expect = baseline(&session, 2);
+    let mut clean = connect(&handle);
+    assert_eq!(run_script(&mut clean).unwrap(), expect);
+    assert_eq!(handle.stats().panics_caught, 0);
+    handle.shutdown();
+    handle.join();
+}

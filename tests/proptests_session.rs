@@ -92,6 +92,8 @@ proptest! {
         pairs in proptest::collection::vec((0u32..1000, 0u32..1000), 0..50),
         nodes in proptest::collection::vec(0u32..1000, 0..50),
         sources in proptest::collection::vec(0u32..1000, 0..20),
+        path in proptest::collection::vec(0u32..26, 0..60)
+            .prop_map(|v| v.into_iter().map(|b| (b'a' + b as u8) as char).collect::<String>()),
     ) {
         let reqs = [
             wire::Request::Info,
@@ -99,6 +101,7 @@ proptest! {
             wire::Request::ClusterOf(nodes.clone()),
             wire::Request::Eccentricity(nodes.clone()),
             wire::Request::Nearest { sources, probes: nodes },
+            wire::Request::Reload { path },
             wire::Request::Shutdown,
             wire::Request::Stats,
         ];
@@ -118,6 +121,12 @@ proptest! {
         errors in any::<u64>(),
         bytes_in in any::<u64>(),
         bytes_out in any::<u64>(),
+        epoch in any::<u64>(),
+        timeouts in any::<u64>(),
+        shed in any::<u64>(),
+        panics_caught in any::<u64>(),
+        reloads_ok in any::<u64>(),
+        reloads_rolled_back in any::<u64>(),
         ops in proptest::collection::vec(
             (any::<u8>(), any::<u64>(), proptest::collection::vec(any::<u64>(), 0..30)),
             0..6,
@@ -139,6 +148,12 @@ proptest! {
             errors,
             bytes_in,
             bytes_out,
+            epoch,
+            timeouts,
+            shed,
+            panics_caught,
+            reloads_ok,
+            reloads_rolled_back,
             per_op,
         };
         let body = wire::encode_stats_body(&snap);
@@ -155,7 +170,7 @@ proptest! {
 
 /// Golden wire bytes for the OP_STATS surface: the request is the bare
 /// opcode, and a handcrafted snapshot encodes to exactly the frame the
-/// module docs promise (15-byte response header, 41-byte fixed stats
+/// module docs promise (15-byte response header, 89-byte fixed stats
 /// header, 546-byte per-op entries). The expected bytes are derived here
 /// by hand, independent of the encoder.
 #[test]
@@ -172,6 +187,12 @@ fn wire_stats_golden_bytes() {
         errors: 1,
         bytes_in: 100,
         bytes_out: 200,
+        epoch: 2,
+        timeouts: 4,
+        shed: 5,
+        panics_caught: 6,
+        reloads_ok: 1,
+        reloads_rolled_back: 9,
         per_op: vec![wire::OpStats {
             opcode: wire::OP_DIST,
             count: 3,
@@ -182,8 +203,9 @@ fn wire_stats_golden_bytes() {
     // Response header: status 0, opcode STATS, zero ledger, strategy 0.
     let mut expect = vec![0u8, wire::OP_STATS];
     expect.extend_from_slice(&[0; 13]);
-    // Fixed stats header.
-    for v in [7u64, 3, 1, 100, 200] {
+    // Fixed stats header: the five original counters, then the fault
+    // ledger (epoch, timeouts, shed, panics, reloads ok / rolled back).
+    for v in [7u64, 3, 1, 100, 200, 2, 4, 5, 6, 1, 9] {
         expect.extend_from_slice(&v.to_le_bytes());
     }
     expect.push(1); // n_ops
@@ -200,7 +222,7 @@ fn wire_stats_golden_bytes() {
     for b in buckets {
         expect.extend_from_slice(&b.to_le_bytes());
     }
-    assert_eq!(expect.len(), 15 + 41 + 546);
+    assert_eq!(expect.len(), 15 + 89 + 546);
 
     let frame = wire::stats_response_frame(&snap);
     assert_eq!(frame, expect, "STATS frame layout drifted");
@@ -209,4 +231,94 @@ fn wire_stats_golden_bytes() {
         snap,
         "golden frame no longer decodes to its snapshot"
     );
+}
+
+/// Live-daemon sibling of `session_every_truncation_errors`: a daemon
+/// serving session A is asked to hot-reload **every strict prefix** of
+/// snapshot B. Each attempt must be refused with `ERR_RELOAD_FAILED` and
+/// rolled back — the daemon keeps answering for A in between — and the
+/// final, untruncated B must swap in with an epoch bump.
+#[test]
+fn live_reload_rejects_every_truncated_snapshot() {
+    use std::io::Write as _;
+
+    let a = std::sync::Arc::new(Session::build(
+        generators::mesh(4, 4),
+        &SessionParams::new(2, 11).with_frontier(FrontierStrategy::TopDown),
+    ));
+    let b = Session::build(
+        generators::mesh(3, 5),
+        &SessionParams::new(2, 13)
+            .with_frontier(FrontierStrategy::TopDown)
+            .without_oracle(),
+    );
+    let mut b_bytes = Vec::new();
+    b.save(&mut b_bytes).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("pardec_prop_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let replacement = dir.join("b.pdec");
+
+    let pool = std::sync::Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap(),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = wire::serve_with(
+        listener,
+        a,
+        pool,
+        1,
+        wire::ServeConfig {
+            allow_reload: true,
+            ..wire::ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let reload = |stream: &mut std::net::TcpStream, path: String| {
+        wire::write_frame(
+            stream,
+            &wire::encode_request(&wire::Request::Reload { path }),
+        )
+        .unwrap();
+        let body = wire::read_frame(stream).unwrap().unwrap();
+        wire::decode_response(&body).unwrap()
+    };
+
+    for len in 0..b_bytes.len() {
+        let mut f = std::fs::File::create(&replacement).unwrap();
+        f.write_all(&b_bytes[..len]).unwrap();
+        drop(f);
+        let resp = reload(&mut stream, replacement.display().to_string());
+        assert_eq!(
+            resp.status,
+            wire::ERR_RELOAD_FAILED,
+            "truncated prefix {len}/{} swapped in",
+            b_bytes.len()
+        );
+        assert_eq!(handle.epoch(), 1, "epoch moved on a rolled-back reload");
+    }
+
+    // Daemon still answers for A after the whole gauntlet…
+    let resp = wire::roundtrip(&mut stream, &wire::Request::ClusterOf(vec![0, 15])).unwrap();
+    assert_eq!(resp.status, 0);
+
+    // …and the intact replacement swaps in with an epoch bump.
+    std::fs::write(&replacement, &b_bytes).unwrap();
+    let resp = reload(&mut stream, replacement.display().to_string());
+    assert_eq!(resp.status, 0, "intact snapshot refused");
+    assert_eq!(&resp.body[..], &2u64.to_le_bytes());
+    assert_eq!(handle.epoch(), 2);
+
+    let stats = handle.stats();
+    assert_eq!(stats.reloads_ok, 1);
+    assert_eq!(stats.reloads_rolled_back, b_bytes.len() as u64);
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
 }
